@@ -1,0 +1,53 @@
+#include "common/bench_util.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace mra::bench {
+
+BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      opts.quick = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opts.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--csv=", 0) == 0) {
+      opts.csv_path = arg.substr(6);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "options: --quick --seed=S --csv=PATH\n";
+      std::exit(0);
+    }
+  }
+  return opts;
+}
+
+experiment::ExperimentConfig paper_config(algo::Algorithm algorithm, int phi,
+                                          double rho,
+                                          const BenchOptions& options) {
+  experiment::ExperimentConfig cfg;
+  cfg.system.algorithm = algorithm;
+  cfg.system.num_sites = 32;
+  cfg.system.num_resources = 80;
+  cfg.system.seed = options.seed;
+  cfg.system.network_latency = sim::from_ms(0.6);
+  cfg.workload = workload::medium_load(phi, 80);
+  cfg.workload.rho = rho;
+  cfg.warmup = options.warmup();
+  cfg.measure = options.measure();
+  return cfg;
+}
+
+void emit(const experiment::Table& table, const BenchOptions& options,
+          const std::string& default_csv_name) {
+  table.print(std::cout);
+  const std::string path =
+      options.csv_path.empty() ? default_csv_name : options.csv_path;
+  if (!path.empty()) {
+    table.write_csv(path);
+    std::cout << "(csv: " << path << ")\n";
+  }
+}
+
+}  // namespace mra::bench

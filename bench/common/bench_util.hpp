@@ -1,0 +1,42 @@
+// Shared helpers for the figure/table bench binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "experiment/experiment.hpp"
+#include "experiment/sweep.hpp"
+#include "experiment/table.hpp"
+
+namespace mra::bench {
+
+/// Scale knobs common to every bench binary, settable from the command line:
+///   --quick        shorter measurement window (CI-friendly)
+///   --seed=S       base RNG seed
+///   --csv=PATH     also write the table as CSV
+struct BenchOptions {
+  bool quick = false;
+  std::uint64_t seed = 1;
+  std::string csv_path;
+
+  sim::SimDuration warmup() const {
+    return quick ? sim::from_ms(500) : sim::from_ms(2000);
+  }
+  sim::SimDuration measure() const {
+    return quick ? sim::from_ms(4000) : sim::from_ms(20000);
+  }
+};
+
+BenchOptions parse_options(int argc, char** argv);
+
+/// Builds the paper's standard experiment config: N=32, M=80, γ=0.6 ms.
+experiment::ExperimentConfig paper_config(algo::Algorithm algorithm, int phi,
+                                          double rho,
+                                          const BenchOptions& options);
+
+/// Prints the table and optionally writes the CSV next to the binary.
+void emit(const experiment::Table& table, const BenchOptions& options,
+          const std::string& default_csv_name);
+
+}  // namespace mra::bench

@@ -1,0 +1,66 @@
+// Scalability in the number of sites: the paper fixes N = 32; this bench
+// sweeps N at the paper's M = 80, phi = 4 to show how each algorithm's
+// synchronization cost grows with the system size (the regime where BL's
+// serialized control token and Maddi's broadcasts hurt most).
+#include <iostream>
+
+#include "common/bench_util.hpp"
+
+using namespace mra;
+using namespace mra::bench;
+using experiment::Table;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_options(argc, argv);
+  std::cout << "Scalability: N sweep (M=80, phi=4, high load).\n";
+
+  const std::vector<int> ns = {8, 16, 32, 64, 128};
+  const std::vector<algo::Algorithm> series = {
+      algo::Algorithm::kBouabdallahLaforest,
+      algo::Algorithm::kLassWithoutLoan,
+      algo::Algorithm::kLassWithLoan,
+      algo::Algorithm::kCentralSharedMemory,
+  };
+
+  std::vector<experiment::ExperimentConfig> configs;
+  for (int n : ns) {
+    for (auto alg : series) {
+      auto cfg = paper_config(alg, /*phi=*/4, /*rho=*/0.5, opts);
+      cfg.system.num_sites = n;
+      configs.push_back(cfg);
+    }
+  }
+  const auto results = experiment::run_sweep(configs);
+
+  Table use({"N", "BL use (%)", "no-loan use (%)", "loan use (%)",
+             "shm use (%)"});
+  Table wait({"N", "BL wait (ms)", "no-loan wait (ms)", "loan wait (ms)",
+              "shm wait (ms)", "BL/LASS"});
+  std::size_t idx = 0;
+  for (int n : ns) {
+    const auto& bl = results[idx++];
+    const auto& noloan = results[idx++];
+    const auto& loan = results[idx++];
+    const auto& shm = results[idx++];
+    use.add_row({std::to_string(n), Table::fmt(bl.use_rate * 100, 1),
+                 Table::fmt(noloan.use_rate * 100, 1),
+                 Table::fmt(loan.use_rate * 100, 1),
+                 Table::fmt(shm.use_rate * 100, 1)});
+    wait.add_row({std::to_string(n), Table::fmt(bl.waiting_mean_ms, 1),
+                  Table::fmt(noloan.waiting_mean_ms, 1),
+                  Table::fmt(loan.waiting_mean_ms, 1),
+                  Table::fmt(shm.waiting_mean_ms, 1),
+                  Table::fmt(loan.waiting_mean_ms > 0
+                                 ? bl.waiting_mean_ms / loan.waiting_mean_ms
+                                 : 0.0,
+                             2) +
+                      "x"});
+  }
+  std::cout << "\n--- resource use rate ---\n";
+  emit(use, opts, "scalability_n_use.csv");
+  std::cout << "\n--- average waiting time ---\n";
+  emit(wait, opts, "scalability_n_wait.csv");
+  std::cout << "\nExpectation: the BL/LASS gap widens with N (every extra "
+               "site queues behind the single control token).\n";
+  return 0;
+}

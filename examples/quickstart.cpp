@@ -1,0 +1,57 @@
+// Quickstart: the paper's Figure 3 walkthrough — 3 sites, 2 resources
+// (r_red = 0, r_blue = 1). Site 0 uses red, site 2 uses blue, and site 1
+// requests both; the trace shows the ReqCnt/Counter/ReqRes/Token exchange
+// and site 1 entering its critical section once both tokens arrive.
+#include <iostream>
+
+#include "algo/factory.hpp"
+#include "workload/driver.hpp"
+
+using namespace mra;
+
+int main() {
+  algo::SystemConfig cfg;
+  cfg.algorithm = algo::Algorithm::kLassWithLoan;
+  cfg.num_sites = 3;
+  cfg.num_resources = 2;
+  cfg.seed = 7;
+
+  auto system = algo::AllocationSystem::create(cfg);
+  system->trace().enable();
+  system->trace().set_sink([](const std::string& line) {
+    std::cout << "  " << line << "\n";
+  });
+  system->start();
+
+  auto& sim = system->simulator();
+  const ResourceSet red(2, {0});
+  const ResourceSet blue(2, {1});
+  const ResourceSet both(2, {0, 1});
+
+  // Wire grant callbacks: hold each CS for 10 ms, then release.
+  for (SiteId s = 0; s < 3; ++s) {
+    auto& node = system->node(s);
+    node.set_grant_callback([&, s](RequestId) {
+      sim.schedule_in(sim::from_ms(10), [&, s]() { system->node(s).release(); });
+    });
+  }
+
+  std::cout << "t=0ms   s0 requests {red}, s2 requests {blue}\n";
+  sim.schedule_in(0, [&]() { system->node(0).request(red); });
+  sim.schedule_in(0, [&]() { system->node(2).request(blue); });
+  std::cout << "t=2ms   s1 requests {red, blue}\n";
+  sim.schedule_in(sim::from_ms(2), [&]() { system->node(1).request(both); });
+
+  sim.run();
+
+  std::cout << "\nFinal states: ";
+  for (SiteId s = 0; s < 3; ++s) {
+    std::cout << "s" << s << "=" << to_string(system->node(s).state()) << " ";
+  }
+  std::cout << "\nMessages exchanged: " << system->network().total_messages()
+            << "\n";
+  std::cout << "\nAll three critical sections completed — s1 entered only "
+               "after holding both tokens (safety), without any global "
+               "lock.\n";
+  return 0;
+}

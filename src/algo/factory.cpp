@@ -1,0 +1,122 @@
+#include "algo/factory.hpp"
+
+#include <stdexcept>
+
+#include "algo/bouabdallah_laforest.hpp"
+#include "algo/incremental.hpp"
+#include "algo/lass/node.hpp"
+#include "algo/maddi.hpp"
+
+namespace mra::algo {
+
+const char* to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::kIncremental: return "Incremental";
+    case Algorithm::kBouabdallahLaforest: return "Bouabdallah-Laforest";
+    case Algorithm::kLassWithoutLoan: return "Without loan";
+    case Algorithm::kLassWithLoan: return "With loan";
+    case Algorithm::kCentralSharedMemory: return "in shared memory";
+    case Algorithm::kMaddi: return "Maddi";
+  }
+  return "?";
+}
+
+std::vector<Algorithm> all_algorithms() {
+  return {Algorithm::kIncremental,       Algorithm::kBouabdallahLaforest,
+          Algorithm::kLassWithoutLoan,   Algorithm::kLassWithLoan,
+          Algorithm::kCentralSharedMemory, Algorithm::kMaddi};
+}
+
+AllocationSystem::AllocationSystem(const SystemConfig& config) : cfg_(config) {
+  if (config.num_sites <= 0 || config.num_resources <= 0) {
+    throw std::invalid_argument(
+        "SystemConfig: num_sites and num_resources must be positive");
+  }
+  sim_ = std::make_unique<sim::Simulator>();
+  std::unique_ptr<net::LatencyModel> latency;
+  if (config.hierarchical_clusters > 1) {
+    const int cluster_size =
+        (config.num_sites + config.hierarchical_clusters - 1) /
+        config.hierarchical_clusters;
+    latency = net::make_hierarchical_latency(
+        cluster_size, config.network_latency,
+        config.hierarchical_remote_latency);
+  } else if (config.latency_jitter > 0.0) {
+    latency = net::make_uniform_jitter_latency(config.network_latency,
+                                               config.latency_jitter);
+  } else {
+    latency = net::make_fixed_latency(config.network_latency);
+  }
+  net_ = std::make_unique<net::Network>(*sim_, std::move(latency), config.seed);
+
+  switch (config.algorithm) {
+    case Algorithm::kIncremental: {
+      IncrementalConfig c;
+      c.num_sites = config.num_sites;
+      c.num_resources = config.num_resources;
+      for (int i = 0; i < config.num_sites; ++i) {
+        nodes_.push_back(std::make_unique<IncrementalNode>(c, &trace_));
+      }
+      break;
+    }
+    case Algorithm::kBouabdallahLaforest: {
+      BouabdallahLaforestConfig c;
+      c.num_sites = config.num_sites;
+      c.num_resources = config.num_resources;
+      c.release_control_token_early = config.bl_release_control_token_early;
+      for (int i = 0; i < config.num_sites; ++i) {
+        nodes_.push_back(std::make_unique<BouabdallahLaforestNode>(c, &trace_));
+      }
+      break;
+    }
+    case Algorithm::kLassWithoutLoan:
+    case Algorithm::kLassWithLoan: {
+      lass::LassConfig c;
+      c.num_sites = config.num_sites;
+      c.num_resources = config.num_resources;
+      c.mark_policy = config.mark_policy;
+      c.enable_loan = config.algorithm == Algorithm::kLassWithLoan;
+      c.loan_threshold = config.loan_threshold;
+      c.opt_single_resource = config.opt_single_resource;
+      c.opt_stop_forwarding = config.opt_stop_forwarding;
+      for (int i = 0; i < config.num_sites; ++i) {
+        nodes_.push_back(std::make_unique<lass::LassNode>(c, &trace_));
+      }
+      break;
+    }
+    case Algorithm::kCentralSharedMemory: {
+      CentralConfig c;
+      c.num_sites = config.num_sites;
+      c.num_resources = config.num_resources;
+      c.strict_fifo = config.central_strict_fifo;
+      coordinator_ = std::make_unique<CentralCoordinator>(c, *sim_);
+      for (int i = 0; i < config.num_sites; ++i) {
+        nodes_.push_back(std::make_unique<CentralNode>(c, *coordinator_));
+      }
+      break;
+    }
+    case Algorithm::kMaddi: {
+      MaddiConfig c;
+      c.num_sites = config.num_sites;
+      c.num_resources = config.num_resources;
+      for (int i = 0; i < config.num_sites; ++i) {
+        nodes_.push_back(std::make_unique<MaddiNode>(c, &trace_));
+      }
+      break;
+    }
+  }
+}
+
+std::unique_ptr<AllocationSystem> AllocationSystem::create(
+    const SystemConfig& config) {
+  return std::unique_ptr<AllocationSystem>(new AllocationSystem(config));
+}
+
+void AllocationSystem::start() {
+  if (started_) throw std::logic_error("AllocationSystem: started twice");
+  started_ = true;
+  for (auto& node : nodes_) net_->add_node(*node);
+  net_->start();
+}
+
+}  // namespace mra::algo

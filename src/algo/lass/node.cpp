@@ -1,0 +1,585 @@
+#include "algo/lass/node.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+#include "net/network.hpp"
+
+namespace mra::algo::lass {
+
+LassNode::LassNode(const LassConfig& config, Trace* trace)
+    : cfg_(config),
+      mark_fn_(make_mark_function(config.mark_policy)),
+      trace_(trace),
+      my_vector_(static_cast<std::size_t>(config.num_resources), 0),
+      t_required_(config.num_resources),
+      t_owned_(config.num_resources),
+      cnt_needed_(config.num_resources),
+      pending_req_(static_cast<std::size_t>(config.num_resources)),
+      t_lent_(config.num_resources) {
+  if (config.num_sites <= 0 || config.num_resources <= 0) {
+    throw std::invalid_argument("LassConfig: num_sites and num_resources must be positive");
+  }
+  current_ = ResourceSet(config.num_resources);
+}
+
+void LassNode::on_start() {
+  // Initialization (Annex A, lines 45-67): the elected node owns every
+  // token; everyone else points its father at the elected node.
+  tok_dir_.assign(static_cast<std::size_t>(cfg_.num_resources),
+                  id() == cfg_.elected_node ? kNoSite : cfg_.elected_node);
+  last_tok_.clear();
+  last_tok_.reserve(static_cast<std::size_t>(cfg_.num_resources));
+  for (ResourceId r = 0; r < cfg_.num_resources; ++r) {
+    last_tok_.emplace_back(r, cfg_.num_sites);
+    if (id() == cfg_.elected_node) t_owned_.insert(r);
+  }
+}
+
+void LassNode::trace(const std::string& what) {
+  if (trace_ != nullptr && trace_->enabled() && network_ != nullptr) {
+    trace_->log(network_->simulator().now(), id(), what);
+  }
+}
+
+ReqItem LassNode::my_res_request(ResourceId r) const {
+  ReqItem item;
+  item.type = ReqType::kRes;
+  item.r = r;
+  item.sinit = id();
+  item.id = request_seq_;
+  item.mark = mark_fn_(my_vector_);
+  return item;
+}
+
+bool LassNode::is_obsolete(const ReqItem& req) const {
+  // §4.2.1: a request is obsolete when the (locally known) token state shows
+  // it has already been served. last_cs / last_req_cnt only grow, so a stale
+  // local snapshot can only under-approximate obsolescence — safe.
+  const auto& t = last_tok_[static_cast<std::size_t>(req.r)];
+  const auto site = static_cast<std::size_t>(req.sinit);
+  if (req.id <= t.last_cs[site]) return true;
+  if (req.type == ReqType::kCnt && req.id <= t.last_req_cnt[site]) return true;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Request_CS (Annex A, lines 68-84)
+// ---------------------------------------------------------------------------
+void LassNode::request(const ResourceSet& resources) {
+  assert(state_ == ProcessState::kIdle && "request while not idle");
+  assert(!resources.empty() && "empty resource request");
+  ++request_seq_;
+  t_required_ = resources;
+  current_ = resources;
+  state_ = ProcessState::kWaitS;
+  cnt_needed_.clear();
+  single_res_registered_ = false;
+  trace("Request_CS " + resources.to_string());
+
+  const bool single_res_opt =
+      cfg_.opt_single_resource && resources.size() == 1;
+
+  resources.for_each([&](ResourceId r) {
+    if (owns(r)) {
+      // We hold the token: reserve and increment the counter locally.
+      my_vector_[static_cast<std::size_t>(r)] = tok(r).counter;
+      ++tok(r).counter;
+    } else {
+      cnt_needed_.insert(r);
+      ReqItem item;
+      item.type = ReqType::kCnt;
+      item.r = r;
+      item.sinit = id();
+      item.id = request_seq_;
+      if (single_res_opt) {
+        // §4.6.1: the holder will treat this ReqCnt as a ReqRes as well, so
+        // we must not send a separate ReqRes when the counter arrives.
+        item.single_resource = true;
+        single_res_registered_ = true;
+      }
+      buffer_request(tok_dir(r), item);
+    }
+  });
+  flush_requests({id()});
+
+  if (t_required_.subset_of(t_owned_)) {
+    enter_cs();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Release_CS (Annex A, lines 85-101)
+// ---------------------------------------------------------------------------
+void LassNode::release() {
+  assert(state_ == ProcessState::kInCS && "release outside CS");
+  trace("Release_CS " + t_required_.to_string());
+  state_ = ProcessState::kIdle;
+  loan_asked_ = false;
+
+  t_required_.for_each([&](ResourceId r) {
+    assert(owns(r));
+    LassToken& t = tok(r);
+    t.last_cs[static_cast<std::size_t>(id())] = request_seq_;
+    const SiteId lender = t.lender;
+    if (lender != kNoSite && lender != id()) {
+      // Borrowed token: return it straight to the lender (line 95-98). Any
+      // queued request from the lender is dropped — it gets the token itself.
+      t.wqueue.remove_site(lender);
+      t.lender = kNoSite;
+      send_token(lender, r);
+    } else if (!t.wqueue.empty()) {
+      t.lender = kNoSite;
+      const ReqItem head = t.wqueue.pop_head();
+      send_token(head.sinit, r);
+    }
+    // else: keep the token (we stay root of r's tree).
+  });
+
+  t_required_.clear();
+  current_.clear();
+  std::fill(my_vector_.begin(), my_vector_.end(), 0);
+  flush_responses();
+}
+
+void LassNode::enter_cs() {
+  assert(t_required_.subset_of(t_owned_));
+  state_ = ProcessState::kInCS;
+  bool via_loan = false;
+  t_required_.for_each([&](ResourceId r) {
+    if (tok(r).lender != kNoSite && tok(r).lender != id()) via_loan = true;
+  });
+  if (via_loan) ++loans_used_;
+  trace("enter CS " + t_required_.to_string() + (via_loan ? " (loan)" : ""));
+  notify_granted();
+}
+
+// ---------------------------------------------------------------------------
+// SendToken (Annex A, lines 102-107)
+// ---------------------------------------------------------------------------
+void LassNode::send_token(SiteId dst, ResourceId r) {
+  assert(owns(r));
+  assert(dst != id() && "token sent to self");
+  tok_buf_[dst].push_back(tok(r));  // authoritative copy travels
+  tok_dir(r) = dst;
+  t_owned_.erase(r);
+}
+
+// ---------------------------------------------------------------------------
+// processCntNeededEmpty (Annex A, lines 108-116)
+// ---------------------------------------------------------------------------
+void LassNode::process_cnt_needed_empty() {
+  assert(state_ == ProcessState::kWaitS && cnt_needed_.empty());
+  state_ = ProcessState::kWaitCS;
+  trace("waitCS mark=" + std::to_string(mark_fn_(my_vector_)));
+  t_required_.for_each([&](ResourceId r) {
+    if (!owns(r)) {
+      if (single_res_registered_) return;  // §4.6.1: already registered
+      buffer_request(tok_dir(r), my_res_request(r));
+    }
+  });
+  flush_requests({id()});
+}
+
+// ---------------------------------------------------------------------------
+// canLend (Annex A, lines 117-132)
+// ---------------------------------------------------------------------------
+bool LassNode::can_lend(const ReqItem& req) const {
+  if (!req.missing.subset_of(t_owned_)) return false;
+  // None of our owned tokens may itself be borrowed.
+  bool borrowed = false;
+  t_owned_.for_each([&](ResourceId r) {
+    const SiteId lender = last_tok_[static_cast<std::size_t>(r)].lender;
+    if (lender != kNoSite && lender != id()) borrowed = true;
+  });
+  if (borrowed) return false;
+  if (!t_lent_.empty()) return false;          // one borrower at a time
+  if (state_ == ProcessState::kInCS) return false;
+  if (state_ == ProcessState::kWaitCS) {
+    if (loan_asked_) {
+      // Both want a loan: priority decides.
+      ReqItem mine = my_res_request(req.r);
+      return req.precedes(mine);
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// processReqLoan (Annex A, lines 190-207)
+// ---------------------------------------------------------------------------
+void LassNode::process_req_loan(const ReqItem& req) {
+  assert(owns(req.r));
+  if (is_obsolete(req)) return;
+  if (req.sinit == id()) return;  // our own loan request came home
+  if (can_lend(req)) {
+    trace("lend " + req.missing.to_string() + " to s" + std::to_string(req.sinit));
+    t_lent_ = req.missing;
+    req.missing.for_each([&](ResourceId rp) {
+      tok(rp).lender = id();
+      tok(rp).wqueue.remove_site(req.sinit);  // it gets the token directly
+      send_token(req.sinit, rp);
+    });
+  } else {
+    if (!t_required_.contains(req.r) || state_ == ProcessState::kWaitS) {
+      send_token(req.sinit, req.r);
+    } else {
+      tok(req.r).wloan.insert(req);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// processUpdate (Annex A, lines 133-158)
+// ---------------------------------------------------------------------------
+void LassNode::process_update(const LassToken& t) {
+  const ResourceId r = t.r;
+  last_tok_[static_cast<std::size_t>(r)] = t;
+  LassToken& mine = tok(r);
+  t_owned_.insert(r);
+  tok_dir(r) = kNoSite;
+
+  if (cnt_needed_.contains(r)) {
+    my_vector_[static_cast<std::size_t>(r)] = mine.counter;
+    ++mine.counter;
+    cnt_needed_.erase(r);
+  }
+  if (t_lent_.contains(r)) {
+    t_lent_.erase(r);
+  }
+  if (mine.lender == id()) {
+    // Our own lent token came home; it is ordinary property again.
+    mine.lender = kNoSite;
+  }
+
+  // Drop queue entries that were satisfied in the meantime, including our
+  // own: receiving the token satisfies whatever claim we had queued in it
+  // (a stale self-entry would otherwise be "served" by sending to self).
+  mine.wqueue.prune_obsolete(mine.last_cs);
+  mine.wloan.prune_obsolete(mine.last_cs);
+  mine.wqueue.remove_site(id());
+  mine.wloan.remove_site(id());
+
+  // Fold the local request history into the token (lines 145-158).
+  auto pending = std::move(pending_req_[static_cast<std::size_t>(r)]);
+  pending_req_[static_cast<std::size_t>(r)].clear();
+  for (const ReqItem& req : pending) {
+    if (is_obsolete(req)) continue;
+    if (req.sinit == id()) continue;  // [deviation 2] self-request, satisfied
+    switch (req.type) {
+      case ReqType::kCnt:
+        reply_counter(req);
+        break;
+      case ReqType::kRes:
+        mine.wqueue.insert(req);
+        break;
+      case ReqType::kLoan:
+        mine.wloan.insert(req);
+        break;
+    }
+  }
+}
+
+CounterValue LassNode::assign_counter(const ReqItem& req) {
+  LassToken& t = tok(req.r);
+  t.last_req_cnt[static_cast<std::size_t>(req.sinit)] = req.id;
+  buffer_counter(req.sinit, req.r, t.counter);
+  return t.counter++;
+}
+
+void LassNode::reply_counter(const ReqItem& req) {
+  const CounterValue value = assign_counter(req);
+  if (req.single_resource) {
+    // §4.6.1: this ReqCnt also acts as the ReqRes; the mark of a
+    // single-resource request is A([v]) = v, known right here. The request
+    // joins the queue; the caller's serve loop applies the waitS yield rule.
+    ReqItem res = req;
+    res.type = ReqType::kRes;
+    res.mark = static_cast<double>(value);
+    tok(req.r).wqueue.insert(res);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Receive Request (Annex A, lines 159-189)
+// ---------------------------------------------------------------------------
+void LassNode::process_request_item(const ReqItem& req,
+                                    const std::vector<SiteId>& visited) {
+  const ResourceId r = req.r;
+  if (is_obsolete(req)) return;
+
+  if (owns(r)) {
+    if (req.sinit == id()) return;  // [deviation 2] our own echo; we own r
+    if (req.type == ReqType::kLoan) {
+      process_req_loan(req);
+    } else if (!t_required_.contains(r) ||
+               (state_ == ProcessState::kWaitS && req.type != ReqType::kCnt)) {
+      // No conflict (or our own mark is not fixed yet): hand the token over.
+      send_token(req.sinit, r);
+    } else if (req.type == ReqType::kCnt) {
+      const CounterValue value = assign_counter(req);
+      if (req.single_resource) {
+        // §4.6.1: double as ReqRes. Apply the same rules a plain ReqRes
+        // would meet here: in waitS yield the token (our own mark is not
+        // fixed yet — queueing instead could create a wait cycle); in
+        // waitCS/inCS run the usual priority arbitration.
+        ReqItem res = req;
+        res.type = ReqType::kRes;
+        res.mark = static_cast<double>(value);
+        if (state_ == ProcessState::kWaitS) {
+          send_token(req.sinit, r);
+        } else {
+          handle_res_request_as_owner(res);
+        }
+      }
+    } else {  // ReqRes, conflicting
+      handle_res_request_as_owner(req);
+    }
+    return;
+  }
+
+  // Not the holder: forward along the tree unless the father was already
+  // visited (cycle) — the token is then in transit towards a site that has
+  // this request in its history.
+  const SiteId father = tok_dir(r);
+
+  // §4.6.2 second bullet: stop forwarding when we are certain to obtain the
+  // token before the requester.
+  if (cfg_.opt_stop_forwarding && req.type == ReqType::kRes) {
+    const bool we_precede =
+        state_ == ProcessState::kWaitCS && t_required_.contains(r) &&
+        my_res_request(r).precedes(req);
+    if (we_precede || t_lent_.contains(r)) {
+      pending_req_[static_cast<std::size_t>(r)].push_back(req);
+      return;
+    }
+  }
+
+  if (std::find(visited.begin(), visited.end(), father) == visited.end()) {
+    pending_req_[static_cast<std::size_t>(r)].push_back(req);
+    buffer_request(father, req);
+  } else {
+    // [deviation 1] Forwarding stops here; keep the request in the local
+    // history so a future token visit serves it (lemma 6's argument).
+    pending_req_[static_cast<std::size_t>(r)].push_back(req);
+  }
+}
+
+void LassNode::handle_res_request_as_owner(const ReqItem& req) {
+  // Lines 176-184: we own the token, we require r, and our mark is fixed
+  // (state is waitCS or inCS — waitS was handled by the caller).
+  LassToken& t = tok(req.r);
+  if (t.wqueue.contains_site(req.sinit)) {
+    t.wqueue.insert(req);  // refresh (newer id wins); no further action
+    return;
+  }
+  ReqItem mine = my_res_request(req.r);
+  if (state_ == ProcessState::kWaitCS && req.precedes(mine)) {
+    t.wqueue.insert(mine);
+    send_token(req.sinit, req.r);
+  } else {
+    t.wqueue.insert(req);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Receive Token (Annex A, lines 208-254)
+// ---------------------------------------------------------------------------
+void LassNode::serve_queues_after_token() {
+  // Lines 226-240: yield owned tokens according to the `/` order.
+  for (ResourceId r : t_owned_.to_vector()) {
+    if (!owns(r)) continue;  // may have been sent in an earlier iteration
+    LassToken& t = tok(r);
+    if (t.wqueue.empty()) continue;
+    if (state_ == ProcessState::kWaitS || state_ == ProcessState::kIdle ||
+        !t_required_.contains(r)) {
+      // waitS: our mark is not fixed, always yield (lines 230-232).
+      // Idle / not required: we have no claim on r (e.g. a lent token came
+      // home carrying queued requests) — serve the head unconditionally.
+      const ReqItem head = t.wqueue.pop_head();
+      send_token(head.sinit, r);
+    } else if (state_ == ProcessState::kWaitCS) {
+      ReqItem mine = my_res_request(r);
+      if (t.wqueue.head().precedes(mine)) {
+        const ReqItem head = t.wqueue.pop_head();
+        t.wqueue.insert(mine);
+        send_token(head.sinit, r);
+      }
+    }
+  }
+
+  // Lines 241-247: retry pending loan requests on every owned token.
+  for (ResourceId r : t_owned_.to_vector()) {
+    if (!owns(r)) continue;
+    LassToken& t = tok(r);
+    if (t.wloan.empty()) continue;
+    std::vector<ReqItem> copy = t.wloan.items();
+    t.wloan.clear();
+    for (const ReqItem& req : copy) {
+      // Serving one loan request can ship this very token (grant or
+      // fallback); later entries then find it gone. Dropping them is safe:
+      // loans are opportunistic, the requester's ReqRes guarantees progress.
+      if (!owns(req.r)) break;
+      process_req_loan(req);
+    }
+  }
+}
+
+void LassNode::maybe_initiate_loan() {
+  // Lines 248-252. The paper tests |missing| == threshold with threshold 1;
+  // we use 1 <= |missing| <= threshold so the ablation can widen it.
+  if (!cfg_.enable_loan || state_ != ProcessState::kWaitCS || loan_asked_) {
+    return;
+  }
+  const ResourceSet missing = t_required_.set_difference(t_owned_);
+  if (missing.empty() ||
+      missing.size() > static_cast<std::size_t>(cfg_.loan_threshold)) {
+    return;
+  }
+  loan_asked_ = true;
+  trace("ask loan for " + missing.to_string());
+  missing.for_each([&](ResourceId r) {
+    ReqItem item;
+    item.type = ReqType::kLoan;
+    item.r = r;
+    item.sinit = id();
+    item.id = request_seq_;
+    item.mark = mark_fn_(my_vector_);
+    item.missing = missing;
+    buffer_request(tok_dir(r), item);
+  });
+  flush_requests({id()});
+}
+
+// ---------------------------------------------------------------------------
+// Message dispatch
+// ---------------------------------------------------------------------------
+void LassNode::on_message(SiteId from, const net::Message& msg) {
+  if (const auto* reqs = dynamic_cast<const RequestBundleMsg*>(&msg)) {
+    for (const ReqItem& item : reqs->items) {
+      process_request_item(item, reqs->visited);
+    }
+    std::vector<SiteId> visited = reqs->visited;
+    if (std::find(visited.begin(), visited.end(), id()) == visited.end()) {
+      visited.push_back(id());
+    }
+    flush_requests(std::move(visited));
+    flush_responses();
+    return;
+  }
+
+  if (const auto* cnts = dynamic_cast<const CounterBundleMsg*>(&msg)) {
+    // Receive Counter (lines 255-262).
+    for (const CounterItem& c : cnts->items) {
+      if (!cnt_needed_.contains(c.r)) continue;  // duplicate/stale reply
+      my_vector_[static_cast<std::size_t>(c.r)] = c.value;
+      cnt_needed_.erase(c.r);
+      tok_dir(c.r) = from;  // line 260: the replier held the token
+    }
+    if (state_ == ProcessState::kWaitS && cnt_needed_.empty()) {
+      process_cnt_needed_empty();
+    }
+    flush_responses();
+    return;
+  }
+
+  if (const auto* toks = dynamic_cast<const TokenBundleMsg*>(&msg)) {
+    for (const LassToken& t : toks->items) process_update(t);
+
+    if (state_ == ProcessState::kWaitS || state_ == ProcessState::kWaitCS) {
+      if (t_required_.subset_of(t_owned_)) {
+        enter_cs();
+      } else {
+        // Failed loan: give borrowed tokens back immediately (lines 216-223).
+        for (ResourceId r : t_owned_.to_vector()) {
+          LassToken& t = tok(r);
+          if (t.lender != kNoSite && t.lender != id()) {
+            const SiteId lender = t.lender;
+            t.lender = kNoSite;
+            // [deviation 3] keep our regular claim on r alive: the lender
+            // removed our ReqRes from the queue when granting the loan.
+            if (t_required_.contains(r) && state_ == ProcessState::kWaitCS) {
+              t.wqueue.insert(my_res_request(r));
+            }
+            send_token(lender, r);
+            loan_asked_ = false;
+            ++loans_failed_;
+            trace("loan failed, return r" + std::to_string(r));
+          }
+        }
+        if (state_ == ProcessState::kWaitS && cnt_needed_.empty()) {
+          process_cnt_needed_empty();
+        }
+        serve_queues_after_token();
+        maybe_initiate_loan();
+      }
+    } else {
+      // Idle lender receiving returned tokens: serve whatever queued up.
+      serve_queues_after_token();
+    }
+    flush_requests({id()});
+    flush_responses();
+    return;
+  }
+
+  assert(false && "LassNode: unknown message type");
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation buffers (§4.2.2)
+// ---------------------------------------------------------------------------
+void LassNode::buffer_request(SiteId dst, ReqItem item) {
+  assert(dst != kNoSite);
+  req_buf_[dst].push_back(std::move(item));
+}
+
+void LassNode::buffer_counter(SiteId dst, ResourceId r, CounterValue value) {
+  cnt_buf_[dst].push_back(CounterItem{r, value});
+}
+
+void LassNode::flush_requests(std::vector<SiteId> visited) {
+  // Local processing (dst == self) can buffer further requests; drain until
+  // a fixed point. Termination: each pass either sends on the network or
+  // shortens a forwarding path, and paths are bounded by |visited| <= N.
+  while (!req_buf_.empty()) {
+    auto bufs = std::move(req_buf_);
+    req_buf_.clear();
+    for (auto& [dst, items] : bufs) {
+      if (dst == id()) {
+        // A father pointer may legitimately point at ourselves transiently;
+        // process locally instead of looping through the network.
+        for (const ReqItem& item : items) process_request_item(item, visited);
+        continue;
+      }
+      auto msg = std::make_unique<RequestBundleMsg>();
+      msg->visited = visited;
+      msg->items = std::move(items);
+      network_->send(id(), dst, std::move(msg));
+    }
+  }
+}
+
+void LassNode::flush_responses() {
+  if (!cnt_buf_.empty()) {
+    auto bufs = std::move(cnt_buf_);
+    cnt_buf_.clear();
+    for (auto& [dst, items] : bufs) {
+      auto msg = std::make_unique<CounterBundleMsg>();
+      msg->items = std::move(items);
+      network_->send(id(), dst, std::move(msg));
+    }
+  }
+  if (!tok_buf_.empty()) {
+    auto bufs = std::move(tok_buf_);
+    tok_buf_.clear();
+    for (auto& [dst, items] : bufs) {
+      auto msg = std::make_unique<TokenBundleMsg>();
+      msg->items = std::move(items);
+      network_->send(id(), dst, std::move(msg));
+    }
+  }
+}
+
+}  // namespace mra::algo::lass

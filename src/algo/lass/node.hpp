@@ -1,0 +1,136 @@
+// The paper's algorithm: decentralized multi-resource allocation with
+// per-resource counter tokens, the `/` total order, dynamic re-scheduling and
+// the loan mechanism (§3, §4, Annex A).
+//
+// This class is a line-faithful translation of the Annex A pseudo-code; the
+// few deviations (all defensive) are marked `// [deviation N]` in node.cpp
+// and listed in DESIGN.md §5.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "algo/lass/messages.hpp"
+#include "algo/lass/token.hpp"
+#include "core/allocator.hpp"
+#include "core/mark.hpp"
+#include "core/trace.hpp"
+
+namespace mra::algo::lass {
+
+/// Tuning knobs of the algorithm.
+struct LassConfig {
+  int num_sites = 0;
+  int num_resources = 0;
+
+  /// Scheduling policy A (§3.3.2). Paper's evaluation: average of non-zero.
+  MarkPolicy mark_policy = MarkPolicy::kAverageNonZero;
+
+  /// Loan mechanism (§3.4, §4.5). The paper's "with loan" variant uses
+  /// threshold 1: ask a loan when exactly one resource is missing. We
+  /// generalise to "at most loan_threshold missing" for the §6 ablation.
+  bool enable_loan = false;
+  int loan_threshold = 1;
+
+  /// §4.6.1: single-resource requests skip the counter round-trip.
+  bool opt_single_resource = true;
+
+  /// §4.6.2: stop forwarding a ReqRes at a site that is certain to obtain
+  /// the token before the requester.
+  bool opt_stop_forwarding = true;
+
+  /// Site initially holding every token (the paper's elected_node).
+  SiteId elected_node = 0;
+};
+
+/// One site running the algorithm.
+class LassNode final : public AllocatorNode {
+ public:
+  LassNode(const LassConfig& config, Trace* trace = nullptr);
+
+  // AllocatorNode interface -------------------------------------------------
+  void request(const ResourceSet& resources) override;
+  void release() override;
+  [[nodiscard]] ProcessState state() const override { return state_; }
+
+  void on_start() override;
+  void on_message(SiteId from, const net::Message& msg) override;
+
+  // Introspection for tests / invariant checks ------------------------------
+  [[nodiscard]] const ResourceSet& owned_tokens() const { return t_owned_; }
+  [[nodiscard]] const ResourceSet& lent_resources() const { return t_lent_; }
+  [[nodiscard]] const LassToken& token_snapshot(ResourceId r) const {
+    return last_tok_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] bool loan_asked() const { return loan_asked_; }
+  [[nodiscard]] const CounterVector& counter_vector() const { return my_vector_; }
+  /// Counter values this site's current request obtained (0 = not requested).
+  [[nodiscard]] double current_mark() const { return mark_fn_(my_vector_); }
+  /// Number of CS entries that completed via a loan.
+  [[nodiscard]] std::uint64_t loans_used() const { return loans_used_; }
+  [[nodiscard]] std::uint64_t loans_failed() const { return loans_failed_; }
+
+ private:
+  // -- helpers mirroring the pseudo-code procedures --------------------------
+  [[nodiscard]] bool owns(ResourceId r) const { return t_owned_.contains(r); }
+  [[nodiscard]] LassToken& tok(ResourceId r) {
+    return last_tok_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] SiteId& tok_dir(ResourceId r) {
+    return tok_dir_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] ReqItem my_res_request(ResourceId r) const;
+  [[nodiscard]] bool is_obsolete(const ReqItem& req) const;
+
+  void process_request_item(const ReqItem& req, const std::vector<SiteId>& visited);
+  void handle_res_request_as_owner(const ReqItem& req);
+  CounterValue assign_counter(const ReqItem& req);
+  void reply_counter(const ReqItem& req);
+  void process_req_loan(const ReqItem& req);
+  [[nodiscard]] bool can_lend(const ReqItem& req) const;
+  void process_update(const LassToken& t);
+  void process_cnt_needed_empty();
+  void serve_queues_after_token();
+  void maybe_initiate_loan();
+  void enter_cs();
+  void send_token(SiteId dst, ResourceId r);
+
+  // -- buffered sends (aggregation mechanism, §4.2.2) ------------------------
+  void buffer_request(SiteId dst, ReqItem item);
+  void buffer_counter(SiteId dst, ResourceId r, CounterValue value);
+  void flush_requests(std::vector<SiteId> visited);
+  void flush_responses();
+
+  void trace(const std::string& what);
+
+  // -- configuration ----------------------------------------------------------
+  LassConfig cfg_;
+  MarkFunction mark_fn_;
+  Trace* trace_ = nullptr;
+
+  // -- local variables (Annex A, Figure 9) ------------------------------------
+  ProcessState state_ = ProcessState::kIdle;
+  std::vector<SiteId> tok_dir_;        // father per resource; kNoSite = root
+  CounterVector my_vector_;            // counters of the current request
+  std::vector<LassToken> last_tok_;    // last token snapshot per resource
+  ResourceSet t_required_;             // current request (== current_)
+  ResourceSet t_owned_;                // owned tokens
+  ResourceSet cnt_needed_;             // counters not yet received
+  std::vector<std::vector<ReqItem>> pending_req_;  // local request history
+  ResourceSet t_lent_;                 // resources lent out
+  bool loan_asked_ = false;
+  bool single_res_registered_ = false;  // §4.6.1 bookkeeping
+
+  // -- aggregation buffers -----------------------------------------------------
+  std::map<SiteId, std::vector<ReqItem>> req_buf_;
+  std::map<SiteId, std::vector<CounterItem>> cnt_buf_;
+  std::map<SiteId, std::vector<LassToken>> tok_buf_;
+
+  // -- stats -------------------------------------------------------------------
+  std::uint64_t loans_used_ = 0;
+  std::uint64_t loans_failed_ = 0;
+};
+
+}  // namespace mra::algo::lass

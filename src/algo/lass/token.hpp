@@ -1,0 +1,112 @@
+// The per-resource token of the paper's algorithm (Annex A, Figure 8, Token)
+// and the request records stored in its queues.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mark.hpp"
+#include "core/resource_set.hpp"
+#include "core/types.hpp"
+
+namespace mra::algo::lass {
+
+/// The three request message types (§4.2).
+enum class ReqType : std::uint8_t {
+  kCnt,   ///< ReqCnt: ask the current counter value
+  kRes,   ///< ReqRes: ask the right to access the resource
+  kLoan,  ///< ReqLoan: ask to borrow the missing resources
+};
+
+[[nodiscard]] constexpr const char* to_string(ReqType t) {
+  switch (t) {
+    case ReqType::kCnt: return "ReqCnt";
+    case ReqType::kRes: return "ReqRes";
+    case ReqType::kLoan: return "ReqLoan";
+  }
+  return "?";
+}
+
+/// One request record; doubles as the entry type of wQueue/wLoan.
+struct ReqItem {
+  ReqType type = ReqType::kCnt;
+  ResourceId r = kNoResource;
+  SiteId sinit = kNoSite;   ///< original requester
+  RequestId id = 0;         ///< requester's CS request number
+  double mark = 0.0;        ///< A(counter vector); meaningful for Res/Loan
+  ResourceSet missing;      ///< ReqLoan only: resources the requester misses
+  bool single_resource = false;  ///< §4.6.1: ReqCnt doubling as ReqRes
+
+  /// Total order `/` (§3.3.2): (mark, site id) lexicographic.
+  [[nodiscard]] bool precedes(const ReqItem& other) const {
+    return request_precedes(mark, sinit, other.mark, other.sinit);
+  }
+
+  [[nodiscard]] std::size_t wire_size() const {
+    return 26 + (type == ReqType::kLoan ? (missing.universe_size() + 7) / 8 : 0);
+  }
+};
+
+/// Queue of requests kept sorted by the `/` total order.
+///
+/// At most one live entry per site (hypothesis 4: one outstanding request per
+/// process); insertion replaces an older entry from the same site.
+class SortedRequestQueue {
+ public:
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] const ReqItem& head() const { return items_.front(); }
+  [[nodiscard]] const std::vector<ReqItem>& items() const { return items_; }
+
+  /// Inserts keeping `/` order. If an entry from the same site exists:
+  /// a newer id replaces it, an older or equal id is ignored.
+  /// Returns true when the queue changed.
+  bool insert(const ReqItem& item);
+
+  /// Removes and returns the head. Precondition: !empty().
+  ReqItem pop_head();
+
+  /// Removes any entry from `site`; returns true if one was removed.
+  bool remove_site(SiteId site);
+
+  /// Drops entries already satisfied according to `last_cs` (id <= last_cs
+  /// of their site). Used to prune stale records when a token is received.
+  void prune_obsolete(const std::vector<RequestId>& last_cs);
+
+  [[nodiscard]] bool contains_site(SiteId site) const;
+
+  void clear() { items_.clear(); }
+
+  [[nodiscard]] std::size_t wire_size() const {
+    std::size_t s = 4;
+    for (const auto& it : items_) s += it.wire_size();
+    return s;
+  }
+
+ private:
+  std::vector<ReqItem> items_;  // sorted by (mark, sinit)
+};
+
+/// The token associated with one resource (unique system-wide).
+struct LassToken {
+  ResourceId r = kNoResource;
+  CounterValue counter = 1;             ///< next value to hand out
+  std::vector<RequestId> last_req_cnt;  ///< per site: last ReqCnt id served
+  std::vector<RequestId> last_cs;       ///< per site: last satisfied CS id
+  SortedRequestQueue wqueue;            ///< pending ReqRes, `/`-ordered
+  SortedRequestQueue wloan;             ///< pending ReqLoan, `/`-ordered
+  SiteId lender = kNoSite;              ///< set while the token is lent
+
+  LassToken() = default;
+  LassToken(ResourceId resource, int num_sites)
+      : r(resource),
+        last_req_cnt(static_cast<std::size_t>(num_sites), 0),
+        last_cs(static_cast<std::size_t>(num_sites), 0) {}
+
+  [[nodiscard]] std::size_t wire_size() const {
+    return 16 + last_req_cnt.size() * 8 + last_cs.size() * 8 +
+           wqueue.wire_size() + wloan.wire_size();
+  }
+};
+
+}  // namespace mra::algo::lass

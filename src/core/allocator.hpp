@@ -1,0 +1,78 @@
+// Public interface of every multi-resource allocation protocol in the
+// library. The workload driver (src/workload/driver.hpp) talks to protocols
+// exclusively through this interface, so algorithms are interchangeable in
+// examples, tests and benches.
+#pragma once
+
+#include <functional>
+
+#include "core/resource_set.hpp"
+#include "core/types.hpp"
+#include "net/node.hpp"
+
+namespace mra {
+
+/// States of the paper's per-process state machine (§4.1).
+enum class ProcessState {
+  kIdle,    ///< not requesting
+  kWaitS,   ///< waiting for counter values
+  kWaitCS,  ///< waiting for the right to access all requested resources
+  kInCS,    ///< executing the critical section
+};
+
+[[nodiscard]] constexpr const char* to_string(ProcessState s) {
+  switch (s) {
+    case ProcessState::kIdle: return "Idle";
+    case ProcessState::kWaitS: return "waitS";
+    case ProcessState::kWaitCS: return "waitCS";
+    case ProcessState::kInCS: return "inCS";
+  }
+  return "?";
+}
+
+/// A multi-resource allocator endpoint living on one site.
+///
+/// Usage protocol (one outstanding request per site, per the paper's
+/// hypothesis 4):
+///   1. request(D)  — asynchronously acquire exclusive access to all of D;
+///   2. the allocator invokes the grant callback when every resource in D is
+///      held (entry into CS);
+///   3. release()   — leave the CS and hand resources to waiting sites.
+class AllocatorNode : public net::Node {
+ public:
+  /// Invoked on CS entry. `request_seq` is the per-site request number.
+  using GrantCallback = std::function<void(RequestId request_seq)>;
+
+  /// Registers the grant callback (the workload driver does this once).
+  void set_grant_callback(GrantCallback cb) { grant_cb_ = std::move(cb); }
+
+  /// Begins acquiring exclusive access to `resources` (non-empty).
+  /// Precondition: state() == kIdle.
+  virtual void request(const ResourceSet& resources) = 0;
+
+  /// Releases all resources of the current request.
+  /// Precondition: state() == kInCS.
+  virtual void release() = 0;
+
+  /// Current protocol state of this site.
+  [[nodiscard]] virtual ProcessState state() const = 0;
+
+  /// Resources of the in-flight request (empty when idle).
+  [[nodiscard]] const ResourceSet& current_request() const { return current_; }
+
+  /// Sequence number of the latest request issued by this site.
+  [[nodiscard]] RequestId current_request_id() const { return request_seq_; }
+
+ protected:
+  void notify_granted() {
+    if (grant_cb_) grant_cb_(request_seq_);
+  }
+
+  ResourceSet current_;
+  RequestId request_seq_ = 0;
+
+ private:
+  GrantCallback grant_cb_;
+};
+
+}  // namespace mra

@@ -1,0 +1,103 @@
+#include "core/resource_set.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mra {
+
+void ResourceSet::check(ResourceId r) const {
+  if (r < 0 || r >= universe_) {
+    throw std::out_of_range("ResourceSet: id " + std::to_string(r) +
+                            " outside universe [0, " +
+                            std::to_string(universe_) + ")");
+  }
+}
+
+void ResourceSet::require_same_universe(const ResourceSet& other) const {
+  if (universe_ != other.universe_) {
+    throw std::invalid_argument("ResourceSet: universe mismatch (" +
+                                std::to_string(universe_) + " vs " +
+                                std::to_string(other.universe_) + ")");
+  }
+}
+
+bool ResourceSet::subset_of(const ResourceSet& other) const {
+  require_same_universe(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool ResourceSet::intersects(const ResourceSet& other) const {
+  require_same_universe(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+ResourceSet& ResourceSet::operator|=(const ResourceSet& other) {
+  require_same_universe(other);
+  count_ = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+    count_ += static_cast<std::size_t>(__builtin_popcountll(words_[i]));
+  }
+  return *this;
+}
+
+ResourceSet& ResourceSet::operator-=(const ResourceSet& other) {
+  require_same_universe(other);
+  count_ = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= ~other.words_[i];
+    count_ += static_cast<std::size_t>(__builtin_popcountll(words_[i]));
+  }
+  return *this;
+}
+
+ResourceSet ResourceSet::set_union(const ResourceSet& other) const {
+  ResourceSet out = *this;
+  out |= other;
+  return out;
+}
+
+ResourceSet ResourceSet::set_difference(const ResourceSet& other) const {
+  ResourceSet out = *this;
+  out -= other;
+  return out;
+}
+
+ResourceSet ResourceSet::set_intersection(const ResourceSet& other) const {
+  require_same_universe(other);
+  ResourceSet out(universe_);
+  out.count_ = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = words_[i] & other.words_[i];
+    out.count_ += static_cast<std::size_t>(__builtin_popcountll(out.words_[i]));
+  }
+  return out;
+}
+
+std::vector<ResourceId> ResourceSet::to_vector() const {
+  std::vector<ResourceId> out;
+  out.reserve(count_);
+  for_each([&](ResourceId r) { out.push_back(r); });
+  return out;
+}
+
+std::string ResourceSet::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for_each([&](ResourceId r) {
+    if (!first) os << ", ";
+    first = false;
+    os << r;
+  });
+  os << '}';
+  return os.str();
+}
+
+}  // namespace mra

@@ -1,0 +1,109 @@
+// A set of resource ids over a dense universe [0, M).
+//
+// Implemented as a dynamic bitset with word-level operations: subset tests
+// and unions are the hot path of every allocation protocol here
+// (TRequired ⊆ TOwned is evaluated on every token arrival).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mra {
+
+class ResourceSet {
+ public:
+  ResourceSet() = default;
+
+  /// Empty set over universe size `universe`.
+  explicit ResourceSet(ResourceId universe)
+      : universe_(universe), words_((static_cast<std::size_t>(universe) + 63) / 64, 0) {}
+
+  /// Set containing exactly the given ids.
+  ResourceSet(ResourceId universe, std::initializer_list<ResourceId> ids)
+      : ResourceSet(universe) {
+    for (ResourceId r : ids) insert(r);
+  }
+
+  [[nodiscard]] ResourceId universe_size() const { return universe_; }
+
+  void insert(ResourceId r) {
+    check(r);
+    auto& w = words_[static_cast<std::size_t>(r) >> 6];
+    const std::uint64_t bit = 1ULL << (r & 63);
+    if ((w & bit) == 0) {
+      w |= bit;
+      ++count_;
+    }
+  }
+
+  void erase(ResourceId r) {
+    check(r);
+    auto& w = words_[static_cast<std::size_t>(r) >> 6];
+    const std::uint64_t bit = 1ULL << (r & 63);
+    if ((w & bit) != 0) {
+      w &= ~bit;
+      --count_;
+    }
+  }
+
+  [[nodiscard]] bool contains(ResourceId r) const {
+    if (r < 0 || r >= universe_) return false;
+    return (words_[static_cast<std::size_t>(r) >> 6] >> (r & 63)) & 1ULL;
+  }
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  void clear() {
+    for (auto& w : words_) w = 0;
+    count_ = 0;
+  }
+
+  /// True iff *this ⊆ other. Sets must share a universe.
+  [[nodiscard]] bool subset_of(const ResourceSet& other) const;
+
+  /// True iff the intersection is non-empty (i.e. two requests conflict).
+  [[nodiscard]] bool intersects(const ResourceSet& other) const;
+
+  /// In-place union / difference.
+  ResourceSet& operator|=(const ResourceSet& other);
+  ResourceSet& operator-=(const ResourceSet& other);
+
+  [[nodiscard]] ResourceSet set_union(const ResourceSet& other) const;
+  [[nodiscard]] ResourceSet set_difference(const ResourceSet& other) const;
+  [[nodiscard]] ResourceSet set_intersection(const ResourceSet& other) const;
+
+  bool operator==(const ResourceSet& other) const = default;
+
+  /// Materialises the members in increasing order.
+  [[nodiscard]] std::vector<ResourceId> to_vector() const;
+
+  /// Human-readable "{0, 3, 7}".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Iterates members in increasing id order without materialising.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = __builtin_ctzll(w);
+        fn(static_cast<ResourceId>(wi * 64 + static_cast<std::size_t>(bit)));
+        w &= w - 1;
+      }
+    }
+  }
+
+ private:
+  void check(ResourceId r) const;
+  void require_same_universe(const ResourceSet& other) const;
+
+  ResourceId universe_ = 0;
+  std::vector<std::uint64_t> words_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace mra

@@ -1,0 +1,4 @@
+#include "core/trace.hpp"
+
+// Trace is header-only in practice; this TU exists so the build has a home
+// for future out-of-line helpers and keeps one-TU-per-header symmetry.

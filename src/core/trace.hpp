@@ -1,0 +1,55 @@
+// Lightweight structured trace for debugging and Gantt extraction.
+//
+// Tracing is off by default and costs one branch per call when disabled.
+// Sinks receive fully formatted lines; the default sink writes to an
+// in-memory ring that tests and examples can inspect.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "core/types.hpp"
+#include "sim/time.hpp"
+
+namespace mra {
+
+/// A simulation-wide trace collector. One instance per simulation.
+class Trace {
+ public:
+  using Sink = std::function<void(const std::string&)>;
+
+  void enable(bool on = true) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Sets an external sink (e.g. std::cout). In-memory ring keeps working.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  /// Caps the in-memory ring (default 4096 lines).
+  void set_capacity(std::size_t lines) { capacity_ = lines; }
+
+  void log(sim::SimTime t, SiteId site, const std::string& event) {
+    if (!enabled_) return;
+    std::ostringstream os;
+    os << "[" << sim::to_ms(t) << "ms] s" << site << " " << event;
+    push(os.str());
+  }
+
+  [[nodiscard]] const std::deque<std::string>& lines() const { return lines_; }
+  void clear() { lines_.clear(); }
+
+ private:
+  void push(std::string line) {
+    if (sink_) sink_(line);
+    lines_.push_back(std::move(line));
+    while (lines_.size() > capacity_) lines_.pop_front();
+  }
+
+  bool enabled_ = false;
+  std::size_t capacity_ = 4096;
+  Sink sink_;
+  std::deque<std::string> lines_;
+};
+
+}  // namespace mra

@@ -1,0 +1,29 @@
+// Fundamental identifiers shared by every protocol in the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mra {
+
+/// Identifier of a site (= node = process; the paper uses the terms
+/// interchangeably). Sites are totally ordered by id: s_i < s_j iff i < j,
+/// which is the tie-break of the paper's `/` total order on requests.
+using SiteId = std::int32_t;
+
+/// Identifier of a resource, 0-based, dense in [0, M).
+using ResourceId = std::int32_t;
+
+/// Sentinel for "no site" (the paper's `nil`).
+inline constexpr SiteId kNoSite = -1;
+
+/// Sentinel for "no resource".
+inline constexpr ResourceId kNoResource = -1;
+
+/// Per-site critical-section request sequence number (the paper's `id`).
+using RequestId = std::int64_t;
+
+/// Counter value handed out by a resource token.
+using CounterValue = std::int64_t;
+
+}  // namespace mra

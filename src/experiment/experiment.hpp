@@ -1,0 +1,58 @@
+// One experiment = one algorithm + one workload + warm-up + measurement.
+// Produces the metrics the paper reports (§5).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algo/factory.hpp"
+#include "metrics/collector.hpp"
+#include "workload/workload.hpp"
+
+namespace mra::experiment {
+
+struct ExperimentConfig {
+  algo::SystemConfig system;
+  workload::WorkloadConfig workload;
+
+  sim::SimDuration warmup = sim::from_ms(2000);    ///< discarded
+  sim::SimDuration measure = sim::from_ms(10000);  ///< measured window
+  std::size_t size_buckets = 6;  ///< waiting-time buckets (Fig. 7 uses 6)
+  bool keep_records = false;     ///< keep the per-request log (Gantt)
+};
+
+struct BucketStats {
+  double mean_ms = 0.0;
+  double stddev_ms = 0.0;
+  std::uint64_t count = 0;
+};
+
+struct ExperimentResult {
+  std::string algorithm;
+  int phi = 0;
+  double rho = 0.0;
+
+  double use_rate = 0.0;              ///< [0, 1]
+  double waiting_mean_ms = 0.0;
+  double waiting_stddev_ms = 0.0;
+  std::uint64_t requests_completed = 0;
+  std::vector<BucketStats> waiting_by_size;
+
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  double messages_per_cs = 0.0;
+  std::map<std::string, std::uint64_t> messages_by_kind;
+
+  std::uint64_t loans_used = 0;    ///< LASS only
+  std::uint64_t loans_failed = 0;  ///< LASS only
+
+  std::vector<metrics::RequestRecord> records;  ///< when keep_records
+};
+
+/// Runs one experiment to completion. Deterministic given the config.
+/// Throws sim::EventBudgetExceeded if the protocol livelocks (bug guard).
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace mra::experiment

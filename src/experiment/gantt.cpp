@@ -1,0 +1,74 @@
+#include "experiment/gantt.hpp"
+
+#include <algorithm>
+
+namespace mra::experiment {
+
+namespace {
+
+sim::SimTime window_end(const std::vector<metrics::RequestRecord>& records,
+                        const GanttOptions& options) {
+  if (options.end != 0) return options.end;
+  sim::SimTime end = options.start + 1;
+  for (const auto& rec : records) end = std::max(end, rec.released);
+  return end;
+}
+
+std::vector<std::string> build_lanes(
+    const std::vector<metrics::RequestRecord>& records,
+    ResourceId num_resources, const GanttOptions& options) {
+  const sim::SimTime t0 = options.start;
+  const sim::SimTime t1 = window_end(records, options);
+  const double span = static_cast<double>(t1 - t0);
+  std::vector<std::string> lanes(
+      static_cast<std::size_t>(num_resources),
+      std::string(static_cast<std::size_t>(options.columns), '.'));
+
+  for (const auto& rec : records) {
+    if (rec.released <= t0 || rec.granted >= t1) continue;
+    const auto c0 = static_cast<int>(
+        static_cast<double>(std::max(rec.granted, t0) - t0) / span *
+        options.columns);
+    auto c1 = static_cast<int>(
+        static_cast<double>(std::min(rec.released, t1) - t0) / span *
+        options.columns);
+    c1 = std::max(c1, c0 + 1);
+    const char mark = options.show_site_ids
+                          ? static_cast<char>('0' + rec.site % 10)
+                          : '#';
+    for (ResourceId r : rec.resources) {
+      auto& lane = lanes[static_cast<std::size_t>(r)];
+      for (int c = c0; c < c1 && c < options.columns; ++c) {
+        lane[static_cast<std::size_t>(c)] = mark;
+      }
+    }
+  }
+  return lanes;
+}
+
+}  // namespace
+
+void render_gantt(std::ostream& os,
+                  const std::vector<metrics::RequestRecord>& records,
+                  ResourceId num_resources, const GanttOptions& options) {
+  const auto lanes = build_lanes(records, num_resources, options);
+  for (ResourceId r = 0; r < num_resources; ++r) {
+    os << "r" << r << (r < 10 ? "  |" : " |")
+       << lanes[static_cast<std::size_t>(r)] << "|\n";
+  }
+}
+
+double gantt_busy_fraction(const std::vector<metrics::RequestRecord>& records,
+                           ResourceId num_resources,
+                           const GanttOptions& options) {
+  const auto lanes = build_lanes(records, num_resources, options);
+  std::size_t busy = 0;
+  std::size_t total = 0;
+  for (const auto& lane : lanes) {
+    for (char c : lane) busy += (c != '.') ? 1 : 0;
+    total += lane.size();
+  }
+  return total == 0 ? 0.0 : static_cast<double>(busy) / static_cast<double>(total);
+}
+
+}  // namespace mra::experiment

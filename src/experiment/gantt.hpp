@@ -1,0 +1,31 @@
+// Gantt rendering of a run's request records (reproduces the paper's
+// Figures 1 and 4: resource lanes, coloured = in use).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "metrics/collector.hpp"
+
+namespace mra::experiment {
+
+struct GanttOptions {
+  int columns = 100;            ///< characters across the time axis
+  sim::SimTime start = 0;       ///< window start
+  sim::SimTime end = 0;         ///< window end (0 = max release time)
+  bool show_site_ids = true;    ///< draw the using site's id (mod 10)
+};
+
+/// Renders one lane per resource; '.' = idle, digit/# = in use by site.
+void render_gantt(std::ostream& os,
+                  const std::vector<metrics::RequestRecord>& records,
+                  ResourceId num_resources, const GanttOptions& options = {});
+
+/// Fraction of lane-columns that are busy (a discretised use rate, the
+/// "coloured area" of the paper's Figure 4).
+[[nodiscard]] double gantt_busy_fraction(
+    const std::vector<metrics::RequestRecord>& records,
+    ResourceId num_resources, const GanttOptions& options = {});
+
+}  // namespace mra::experiment

@@ -1,0 +1,46 @@
+#include "experiment/sweep.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace mra::experiment {
+
+std::vector<ExperimentResult> run_sweep(
+    const std::vector<ExperimentConfig>& configs, unsigned threads) {
+  std::vector<ExperimentResult> results(configs.size());
+  if (configs.empty()) return results;
+
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 4;
+  if (threads > configs.size()) threads = static_cast<unsigned>(configs.size());
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= configs.size()) return;
+      try {
+        results[i] = run_experiment(configs[i]);
+      } catch (...) {
+        std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  }  // joins
+
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace mra::experiment

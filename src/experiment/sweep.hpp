@@ -1,0 +1,21 @@
+// Parallel parameter sweeps.
+//
+// Each experiment is an independent, single-threaded simulation, so a sweep
+// is embarrassingly parallel: a fixed pool of std::jthread workers pulls
+// configs from an atomic counter. Results land at their config's index, so
+// the output order is deterministic regardless of scheduling.
+#pragma once
+
+#include <vector>
+
+#include "experiment/experiment.hpp"
+
+namespace mra::experiment {
+
+/// Runs all configs, using up to `threads` workers (0 = hardware
+/// concurrency). Exceptions from individual runs propagate after the pool
+/// drains.
+[[nodiscard]] std::vector<ExperimentResult> run_sweep(
+    const std::vector<ExperimentConfig>& configs, unsigned threads = 0);
+
+}  // namespace mra::experiment

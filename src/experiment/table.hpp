@@ -1,0 +1,30 @@
+// ASCII table rendering and CSV export for bench output.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mra::experiment {
+
+/// A simple column-aligned table: set a header, append rows, print.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double with the given precision (helper for cells).
+  static std::string fmt(double value, int precision = 2);
+
+  void print(std::ostream& os) const;
+  void write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mra::experiment

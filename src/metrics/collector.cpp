@@ -1,0 +1,69 @@
+#include "metrics/collector.hpp"
+
+#include <cassert>
+
+namespace mra::metrics {
+
+std::size_t Collector::bucket_of(std::size_t size) const {
+  if (by_size_.empty() || max_size_ <= 1) return 0;
+  std::size_t b = (size - 1) * by_size_.size() / max_size_;
+  if (b >= by_size_.size()) b = by_size_.size() - 1;
+  return b;
+}
+
+void Collector::on_issue(sim::SimTime t, SiteId site, RequestId /*seq*/,
+                         const ResourceSet& /*rs*/) {
+  if (in_flight_.size() <= static_cast<std::size_t>(site)) {
+    in_flight_.resize(static_cast<std::size_t>(site) + 1);
+  }
+  auto& f = in_flight_[static_cast<std::size_t>(site)];
+  f.issued = t;
+  f.counted = t >= window_start_;
+}
+
+void Collector::on_grant(sim::SimTime t, SiteId site, RequestId /*seq*/,
+                         const ResourceSet& rs) {
+  usage_.on_acquire(t, rs);
+  ++granted_count_;
+  auto& f = in_flight_[static_cast<std::size_t>(site)];
+  f.granted = t;
+  if (f.counted) {
+    const double wait_ms = sim::to_ms(t - f.issued);
+    waiting_.add(wait_ms);
+    by_size_[bucket_of(rs.size())].add(wait_ms);
+  }
+}
+
+void Collector::on_release(sim::SimTime t, SiteId site, RequestId seq,
+                           const ResourceSet& rs) {
+  usage_.on_release(t, rs);
+  ++completed_;
+  if (keep_records_) {
+    const auto& f = in_flight_[static_cast<std::size_t>(site)];
+    RequestRecord rec;
+    rec.site = site;
+    rec.seq = seq;
+    rec.size = rs.size();
+    rec.issued = f.issued;
+    rec.granted = f.granted;
+    rec.released = t;
+    rec.resources = rs.to_vector();
+    records_.push_back(std::move(rec));
+  }
+}
+
+void Collector::reset(sim::SimTime t) {
+  usage_.reset(t);
+  waiting_.reset();
+  for (auto& s : by_size_) s.reset();
+  completed_ = 0;
+  granted_count_ = 0;
+  window_start_ = t;
+  records_.clear();
+  // Requests already granted keep their usage integration (handled by
+  // UsageTracker::reset) but never enter the waiting statistics: their
+  // `counted` flag refers to the old window.
+  for (auto& f : in_flight_) f.counted = f.issued >= t;
+}
+
+}  // namespace mra::metrics

@@ -1,0 +1,50 @@
+#include "metrics/usage.hpp"
+
+#include <cassert>
+
+namespace mra::metrics {
+
+void UsageTracker::on_acquire(sim::SimTime t, const ResourceSet& rs) {
+  rs.for_each([&](ResourceId r) {
+    auto& since = busy_since_[static_cast<std::size_t>(r)];
+    assert(since == sim::kTimeInfinity &&
+           "UsageTracker: resource acquired twice (mutual exclusion violated)");
+    since = t;
+  });
+}
+
+void UsageTracker::on_release(sim::SimTime t, const ResourceSet& rs) {
+  rs.for_each([&](ResourceId r) {
+    auto& since = busy_since_[static_cast<std::size_t>(r)];
+    assert(since != sim::kTimeInfinity && "UsageTracker: release of free resource");
+    assert(t >= since);
+    accumulated_ += static_cast<double>(t - since);
+    since = sim::kTimeInfinity;
+  });
+}
+
+void UsageTracker::reset(sim::SimTime t) {
+  accumulated_ = 0.0;
+  window_start_ = t;
+  for (auto& since : busy_since_) {
+    if (since != sim::kTimeInfinity) since = t;  // keep counting from the cut
+  }
+}
+
+double UsageTracker::busy_integral(sim::SimTime now) const {
+  double total = accumulated_;
+  for (const auto& since : busy_since_) {
+    if (since != sim::kTimeInfinity && now > since) {
+      total += static_cast<double>(now - since);
+    }
+  }
+  return total;
+}
+
+double UsageTracker::use_rate(sim::SimTime now) const {
+  const double window = static_cast<double>(now - window_start_);
+  if (window <= 0.0) return 0.0;
+  return busy_integral(now) / (window * static_cast<double>(busy_since_.size()));
+}
+
+}  // namespace mra::metrics

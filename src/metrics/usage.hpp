@@ -1,0 +1,47 @@
+// Exact resource-use-rate integration (the paper's §5.2 metric: the fraction
+// of time resources are in use — the "coloured area" of the Gantt diagram).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/resource_set.hpp"
+#include "core/types.hpp"
+#include "sim/time.hpp"
+
+namespace mra::metrics {
+
+class UsageTracker {
+ public:
+  explicit UsageTracker(ResourceId num_resources)
+      : busy_since_(static_cast<std::size_t>(num_resources), sim::kTimeInfinity) {}
+
+  /// Marks every resource in `rs` busy from `t` on. A resource must not be
+  /// acquired twice (that would be a mutual-exclusion violation; asserts).
+  void on_acquire(sim::SimTime t, const ResourceSet& rs);
+
+  /// Marks every resource in `rs` free from `t` on.
+  void on_release(sim::SimTime t, const ResourceSet& rs);
+
+  /// Discards everything integrated so far and restarts the measurement
+  /// window at `t` (warm-up cut). In-flight busy intervals keep counting
+  /// from `t`.
+  void reset(sim::SimTime t);
+
+  /// Use rate over [window start, now] in [0, 1].
+  [[nodiscard]] double use_rate(sim::SimTime now) const;
+
+  /// Integrated busy time in resource-nanoseconds.
+  [[nodiscard]] double busy_integral(sim::SimTime now) const;
+
+  [[nodiscard]] ResourceId num_resources() const {
+    return static_cast<ResourceId>(busy_since_.size());
+  }
+
+ private:
+  std::vector<sim::SimTime> busy_since_;  // kTimeInfinity = free
+  double accumulated_ = 0.0;              // completed busy time (res-ns)
+  sim::SimTime window_start_ = 0;
+};
+
+}  // namespace mra::metrics

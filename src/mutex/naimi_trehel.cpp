@@ -1,0 +1,10 @@
+#include "mutex/naimi_trehel.hpp"
+
+namespace mra::mutex {
+
+// The engine is a header-only template; this TU pins one explicit
+// instantiation so template errors surface when the library builds, not
+// first in a downstream target.
+template class NaimiTrehelEngine<NoPayload>;
+
+}  // namespace mra::mutex

@@ -1,0 +1,78 @@
+#include "mutex/ricart_agrawala.hpp"
+
+#include <algorithm>
+
+namespace mra::mutex {
+
+RicartAgrawalaEngine::RicartAgrawalaEngine(SiteId self, int n, int instance,
+                                           SendFn send, GrantFn on_granted)
+    : self_(self),
+      n_(n),
+      instance_(instance),
+      send_(std::move(send)),
+      on_granted_(std::move(on_granted)),
+      deferred_(static_cast<std::size_t>(n), false) {}
+
+void RicartAgrawalaEngine::request() {
+  assert(!requesting_ && "RA: nested request");
+  requesting_ = true;
+  ++clock_;
+  my_request_clock_ = clock_;
+  replies_pending_ = n_ - 1;
+  if (replies_pending_ == 0) {
+    in_cs_ = true;
+    on_granted_();
+    return;
+  }
+  for (SiteId j = 0; j < n_; ++j) {
+    if (j == self_) continue;
+    auto msg = std::make_unique<RaRequestMsg>();
+    msg->instance = instance_;
+    msg->requester = self_;
+    msg->clock = my_request_clock_;
+    send_(j, std::move(msg));
+  }
+}
+
+void RicartAgrawalaEngine::release() {
+  assert(in_cs_ && "RA: release outside CS");
+  in_cs_ = false;
+  requesting_ = false;
+  for (SiteId j = 0; j < n_; ++j) {
+    const auto ji = static_cast<std::size_t>(j);
+    if (deferred_[ji]) {
+      deferred_[ji] = false;
+      send_reply(j);
+    }
+  }
+}
+
+void RicartAgrawalaEngine::on_request(SiteId from, const RaRequestMsg& msg) {
+  clock_ = std::max(clock_, msg.clock) + 1;
+  // Defer iff we are in CS, or we are requesting with higher priority
+  // (smaller (clock, id) wins).
+  const bool we_win =
+      requesting_ && (my_request_clock_ < msg.clock ||
+                      (my_request_clock_ == msg.clock && self_ < msg.requester));
+  if (in_cs_ || we_win) {
+    deferred_[static_cast<std::size_t>(from)] = true;
+  } else {
+    send_reply(from);
+  }
+}
+
+void RicartAgrawalaEngine::on_reply(const RaReplyMsg& /*msg*/) {
+  assert(requesting_ && replies_pending_ > 0);
+  if (--replies_pending_ == 0) {
+    in_cs_ = true;
+    on_granted_();
+  }
+}
+
+void RicartAgrawalaEngine::send_reply(SiteId dst) {
+  auto msg = std::make_unique<RaReplyMsg>();
+  msg->instance = instance_;
+  send_(dst, std::move(msg));
+}
+
+}  // namespace mra::mutex

@@ -1,0 +1,100 @@
+#include "mutex/suzuki_kasami.hpp"
+
+#include <algorithm>
+
+namespace mra::mutex {
+
+SuzukiKasamiEngine::SuzukiKasamiEngine(SiteId self, SiteId elected, int n,
+                                       int instance, SendFn send,
+                                       GrantFn on_granted)
+    : self_(self),
+      n_(n),
+      instance_(instance),
+      send_(std::move(send)),
+      on_granted_(std::move(on_granted)),
+      rn_(static_cast<std::size_t>(n), 0) {
+  if (self == elected) {
+    has_token_ = true;
+    token_ln_.assign(static_cast<std::size_t>(n), 0);
+  }
+}
+
+void SuzukiKasamiEngine::request() {
+  assert(!requesting_ && "SK: nested request");
+  requesting_ = true;
+  ++rn_[static_cast<std::size_t>(self_)];
+  if (has_token_) {
+    in_cs_ = true;
+    on_granted_();
+    return;
+  }
+  broadcast_request();
+}
+
+void SuzukiKasamiEngine::broadcast_request() {
+  for (SiteId j = 0; j < n_; ++j) {
+    if (j == self_) continue;
+    auto msg = std::make_unique<SkRequestMsg>();
+    msg->instance = instance_;
+    msg->requester = self_;
+    msg->seq = rn_[static_cast<std::size_t>(self_)];
+    send_(j, std::move(msg));
+  }
+}
+
+void SuzukiKasamiEngine::release() {
+  assert(in_cs_ && "SK: release outside CS");
+  in_cs_ = false;
+  requesting_ = false;
+  token_ln_[static_cast<std::size_t>(self_)] =
+      rn_[static_cast<std::size_t>(self_)];
+  // Append every site with an outstanding (RN == LN + 1) request that is not
+  // already queued.
+  for (SiteId j = 0; j < n_; ++j) {
+    if (j == self_) continue;
+    const auto ji = static_cast<std::size_t>(j);
+    if (rn_[ji] == token_ln_[ji] + 1 &&
+        std::find(token_queue_.begin(), token_queue_.end(), j) ==
+            token_queue_.end()) {
+      token_queue_.push_back(j);
+    }
+  }
+  if (!token_queue_.empty()) {
+    const SiteId head = token_queue_.front();
+    token_queue_.pop_front();
+    send_token_to(head);
+  }
+}
+
+void SuzukiKasamiEngine::on_request(const SkRequestMsg& msg) {
+  const auto ji = static_cast<std::size_t>(msg.requester);
+  rn_[ji] = std::max(rn_[ji], msg.seq);
+  if (has_token_ && !in_cs_ && !requesting_ &&
+      rn_[ji] == token_ln_[ji] + 1) {
+    send_token_to(msg.requester);
+  }
+}
+
+void SuzukiKasamiEngine::on_token(const SkTokenMsg& msg) {
+  assert(!has_token_);
+  has_token_ = true;
+  token_ln_ = msg.last_granted;
+  token_queue_ = msg.queue;
+  assert(requesting_ && "SK: unsolicited token");
+  in_cs_ = true;
+  on_granted_();
+}
+
+void SuzukiKasamiEngine::send_token_to(SiteId dst) {
+  assert(has_token_);
+  auto msg = std::make_unique<SkTokenMsg>();
+  msg->instance = instance_;
+  msg->last_granted = std::move(token_ln_);
+  msg->queue = std::move(token_queue_);
+  token_ln_.clear();
+  token_queue_.clear();
+  has_token_ = false;
+  send_(dst, std::move(msg));
+}
+
+}  // namespace mra::mutex

@@ -1,0 +1,19 @@
+#include "net/latency.hpp"
+
+namespace mra::net {
+
+std::unique_ptr<LatencyModel> make_fixed_latency(sim::SimDuration latency) {
+  return std::make_unique<FixedLatency>(latency);
+}
+
+std::unique_ptr<LatencyModel> make_uniform_jitter_latency(
+    sim::SimDuration base, double jitter_fraction) {
+  return std::make_unique<UniformJitterLatency>(base, jitter_fraction);
+}
+
+std::unique_ptr<LatencyModel> make_hierarchical_latency(
+    int cluster_size, sim::SimDuration local, sim::SimDuration remote) {
+  return std::make_unique<HierarchicalLatency>(cluster_size, local, remote);
+}
+
+}  // namespace mra::net

@@ -1,0 +1,74 @@
+// Network latency models.
+//
+// All models are deterministic given the RNG seed. The network enforces FIFO
+// per ordered link on top of whatever the model returns, matching the paper's
+// system model (reliable FIFO channels).
+#pragma once
+
+#include <memory>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace mra::net {
+
+/// Strategy interface: latency of one message on the link src -> dst.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  virtual sim::SimDuration sample(int src, int dst, sim::Rng& rng) = 0;
+};
+
+/// Constant latency (the paper's γ ≈ 0.6 ms).
+class FixedLatency final : public LatencyModel {
+ public:
+  explicit FixedLatency(sim::SimDuration latency) : latency_(latency) {}
+  sim::SimDuration sample(int /*src*/, int /*dst*/, sim::Rng& /*rng*/) override {
+    return latency_;
+  }
+
+ private:
+  sim::SimDuration latency_;
+};
+
+/// Uniform jitter around a base latency: base * U[1-jitter, 1+jitter].
+class UniformJitterLatency final : public LatencyModel {
+ public:
+  UniformJitterLatency(sim::SimDuration base, double jitter_fraction)
+      : base_(base), jitter_(jitter_fraction) {}
+  sim::SimDuration sample(int /*src*/, int /*dst*/, sim::Rng& rng) override {
+    const double f = rng.uniform_real(1.0 - jitter_, 1.0 + jitter_);
+    return static_cast<sim::SimDuration>(static_cast<double>(base_) * f);
+  }
+
+ private:
+  sim::SimDuration base_;
+  double jitter_;
+};
+
+/// Two-level topology: cheap intra-cluster links, expensive inter-cluster
+/// links. Models the paper's future-work target (hierarchical Clouds): sites
+/// [0, cluster_size) form cluster 0, the next cluster_size sites cluster 1...
+class HierarchicalLatency final : public LatencyModel {
+ public:
+  HierarchicalLatency(int cluster_size, sim::SimDuration local,
+                      sim::SimDuration remote)
+      : cluster_size_(cluster_size), local_(local), remote_(remote) {}
+  sim::SimDuration sample(int src, int dst, sim::Rng& /*rng*/) override {
+    return (src / cluster_size_ == dst / cluster_size_) ? local_ : remote_;
+  }
+
+ private:
+  int cluster_size_;
+  sim::SimDuration local_;
+  sim::SimDuration remote_;
+};
+
+/// Factory helpers.
+std::unique_ptr<LatencyModel> make_fixed_latency(sim::SimDuration latency);
+std::unique_ptr<LatencyModel> make_uniform_jitter_latency(
+    sim::SimDuration base, double jitter_fraction);
+std::unique_ptr<LatencyModel> make_hierarchical_latency(
+    int cluster_size, sim::SimDuration local, sim::SimDuration remote);
+
+}  // namespace mra::net

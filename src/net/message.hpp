@@ -1,0 +1,27 @@
+// Polymorphic message base for all protocols.
+//
+// Messages are heap-allocated, owned by unique_ptr, and handed to the
+// destination node by reference. `kind()` is a free-form label used for
+// per-type message statistics (the paper's "message complexity" discussions),
+// and `wire_size()` approximates the serialized size in bytes so benches can
+// report byte counts as well as message counts.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace mra::net {
+
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// Stable label for stats, e.g. "ReqCnt", "Token", "NT.Request".
+  [[nodiscard]] virtual std::string_view kind() const = 0;
+
+  /// Approximate serialized size in bytes (headers excluded; a fixed
+  /// per-message envelope is added by the network).
+  [[nodiscard]] virtual std::size_t wire_size() const { return 16; }
+};
+
+}  // namespace mra::net

@@ -1,0 +1,76 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace mra::net {
+
+Network::Network(sim::Simulator& simulator,
+                 std::unique_ptr<LatencyModel> latency, std::uint64_t seed)
+    : sim_(simulator), latency_(std::move(latency)), rng_(seed) {
+  if (!latency_) throw std::invalid_argument("Network: null latency model");
+}
+
+SiteId Network::add_node(Node& node) {
+  if (started_) throw std::logic_error("Network: add_node after start()");
+  const SiteId id = static_cast<SiteId>(nodes_.size());
+  node.id_ = id;
+  node.network_ = this;
+  nodes_.push_back(&node);
+  return id;
+}
+
+void Network::start() {
+  started_ = true;
+  const std::size_t n = nodes_.size();
+  last_delivery_.assign(n * n, sim::kTimeZero);
+  for (Node* node : nodes_) node->on_start();
+}
+
+void Network::send(SiteId src, SiteId dst, std::unique_ptr<Message> msg) {
+  deliver(src, dst, std::move(msg), latency_->sample(src, dst, rng_));
+}
+
+void Network::send_instant(SiteId src, SiteId dst,
+                           std::unique_ptr<Message> msg) {
+  deliver(src, dst, std::move(msg), 0);
+}
+
+void Network::deliver(SiteId src, SiteId dst, std::unique_ptr<Message> msg,
+                      sim::SimDuration latency) {
+  assert(msg && "Network: null message");
+  assert(dst >= 0 && dst < node_count() && "Network: bad destination");
+  assert(src >= 0 && src < node_count() && "Network: bad source");
+
+  ++total_messages_;
+  const std::uint64_t size = kEnvelopeBytes + msg->wire_size();
+  total_bytes_ += size;
+  auto& st = stats_[std::string(msg->kind())];
+  ++st.count;
+  st.bytes += size;
+
+  // FIFO per ordered link: never deliver before a previously sent message on
+  // the same (src, dst) pair.
+  const std::size_t link =
+      static_cast<std::size_t>(src) * nodes_.size() + static_cast<std::size_t>(dst);
+  sim::SimTime at = sim_.now() + latency;
+  if (at <= last_delivery_[link]) at = last_delivery_[link] + 1;
+  last_delivery_[link] = at;
+
+  // The event owns the message; shared_ptr keeps the callback copyable
+  // (std::function requires copyability).
+  std::shared_ptr<Message> owned{std::move(msg)};
+  Node* target = nodes_[static_cast<std::size_t>(dst)];
+  sim_.schedule_at(at, [target, src, owned]() {
+    target->on_message(src, *owned);
+  });
+}
+
+void Network::reset_stats() {
+  total_messages_ = 0;
+  total_bytes_ = 0;
+  stats_.clear();
+}
+
+}  // namespace mra::net

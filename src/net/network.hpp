@@ -1,0 +1,87 @@
+// The message-passing substrate: a complete graph of reliable FIFO links.
+//
+// System model from the paper (§3.1): N reliable nodes, reliable FIFO links
+// (no loss, no duplication), complete communication graph, no shared memory.
+// FIFO is enforced per ordered pair (src, dst): a message never overtakes an
+// earlier message on the same link, even when the latency model jitters.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/latency.hpp"
+#include "net/message.hpp"
+#include "net/node.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace mra::net {
+
+/// Per-kind message statistics.
+struct MessageStats {
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Network {
+ public:
+  /// Fixed per-message envelope added to Message::wire_size() (addresses,
+  /// type tag, transport header).
+  static constexpr std::size_t kEnvelopeBytes = 24;
+
+  Network(sim::Simulator& simulator, std::unique_ptr<LatencyModel> latency,
+          std::uint64_t seed);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers a node; assigns the next dense SiteId (0-based). The network
+  /// does not own nodes.
+  SiteId add_node(Node& node);
+
+  /// Calls on_start() on every node (in id order).
+  void start();
+
+  [[nodiscard]] int node_count() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] Node& node(SiteId id) { return *nodes_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+  /// Sends `msg` from `src` to `dst`. Self-sends are delivered through the
+  /// same path (with latency) unless `allow_zero_latency_self` was set.
+  void send(SiteId src, SiteId dst, std::unique_ptr<Message> msg);
+
+  /// Delivery with explicitly zero latency (used by the idealised
+  /// shared-memory scheduler, which the paper uses as an upper bound).
+  void send_instant(SiteId src, SiteId dst, std::unique_ptr<Message> msg);
+
+  /// Total messages sent so far.
+  [[nodiscard]] std::uint64_t total_messages() const { return total_messages_; }
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Per-kind statistics, keyed by Message::kind().
+  [[nodiscard]] const std::map<std::string, MessageStats>& stats_by_kind() const {
+    return stats_;
+  }
+
+  /// Resets statistics (e.g. after a warm-up phase).
+  void reset_stats();
+
+ private:
+  void deliver(SiteId src, SiteId dst, std::unique_ptr<Message> msg,
+               sim::SimDuration latency);
+
+  sim::Simulator& sim_;
+  std::unique_ptr<LatencyModel> latency_;
+  sim::Rng rng_;
+  std::vector<Node*> nodes_;
+  std::vector<sim::SimTime> last_delivery_;  // [src * N + dst], FIFO watermark
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::map<std::string, MessageStats> stats_;
+  bool started_ = false;
+};
+
+}  // namespace mra::net

@@ -1,0 +1,37 @@
+// Base class for protocol participants.
+#pragma once
+
+#include <memory>
+
+#include "core/types.hpp"
+#include "net/message.hpp"
+
+namespace mra::net {
+
+class Network;
+
+/// A site in the distributed system. Concrete protocols subclass this and
+/// implement on_message(). Nodes are registered with a Network, which routes
+/// messages and injects the latency model.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  [[nodiscard]] SiteId id() const { return id_; }
+
+  /// The network this node is registered with (null before registration).
+  [[nodiscard]] Network* network() const { return network_; }
+
+  /// Called by the network when a message addressed to this node arrives.
+  virtual void on_message(SiteId from, const Message& msg) = 0;
+
+  /// Called once after every node is registered, before the first event.
+  virtual void on_start() {}
+
+ protected:
+  friend class Network;
+  Network* network_ = nullptr;
+  SiteId id_ = kNoSite;
+};
+
+}  // namespace mra::net

@@ -1,0 +1,56 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace mra::sim {
+
+EventId EventQueue::schedule(SimTime at, Callback cb) {
+  const EventId id = next_seq_++;
+  cancelled_.push_back(false);
+  heap_.push(Entry{at, id, std::move(cb)});
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id >= cancelled_.size() || cancelled_[id]) return false;
+  cancelled_[id] = true;
+  if (live_count_ > 0) --live_count_;
+  return true;
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty() && cancelled_[heap_.top().seq]) {
+    // Mark as "fired" so a later cancel() of this id is a no-op that does not
+    // decrement live_count_ twice. (cancelled_ already true; nothing to do.)
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  // const_cast-free variant: scan by copy is too slow; instead we rely on the
+  // fact that drop_cancelled() is called by pop(), so the top may be stale
+  // here. Walk without mutating by checking flags.
+  // priority_queue gives only top(), so emulate: top is valid if not
+  // cancelled; otherwise we conservatively need a mutable cleanup. We keep a
+  // mutable helper via const_cast, which is safe: dropping cancelled entries
+  // does not change observable state.
+  auto* self = const_cast<EventQueue*>(this);
+  self->drop_cancelled();
+  if (heap_.empty()) return kTimeInfinity;
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  Entry top = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  assert(live_count_ > 0);
+  --live_count_;
+  cancelled_[top.seq] = true;  // guard against cancel-after-fire
+  return Fired{top.time, top.seq, std::move(top.callback)};
+}
+
+}  // namespace mra::sim

@@ -1,0 +1,79 @@
+// A deterministic pending-event set for discrete-event simulation.
+//
+// Events are ordered by (time, sequence number): two events scheduled for the
+// same instant fire in scheduling order. This tie-break is what makes whole
+// simulations reproducible, so it is part of the contract, not an
+// implementation detail.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mra::sim {
+
+/// Identifier of a scheduled event; usable to cancel it.
+using EventId = std::uint64_t;
+
+/// Min-heap of scheduled callbacks keyed by (time, insertion sequence).
+///
+/// Cancellation is lazy: cancelled ids are remembered and skipped on pop,
+/// which keeps schedule/cancel O(log n) amortised.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute time `at`. Returns an id usable with cancel().
+  EventId schedule(SimTime at, Callback cb);
+
+  /// Cancels a previously scheduled event. Cancelling an already-fired or
+  /// unknown id is a harmless no-op (returns false).
+  bool cancel(EventId id);
+
+  /// True when no live (non-cancelled) event remains.
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest live event; kTimeInfinity when empty.
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pops and returns the earliest live event. Precondition: !empty().
+  struct Fired {
+    SimTime time;
+    EventId id;
+    Callback callback;
+  };
+  Fired pop();
+
+  /// Total number of events ever scheduled (for stats / tests).
+  [[nodiscard]] std::uint64_t total_scheduled() const { return next_seq_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId seq;
+    // Heap entries own their callbacks via shared storage index into heap;
+    // std::priority_queue cannot hold move-only lambdas in a stable way, so
+    // the callback travels with the entry.
+    mutable Callback callback;
+
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<bool> cancelled_;  // indexed by seq
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace mra::sim

@@ -1,0 +1,36 @@
+#include "sim/simulator.hpp"
+
+namespace mra::sim {
+
+std::uint64_t Simulator::run(SimTime until) { return run_loop(until, nullptr); }
+
+std::uint64_t Simulator::run_until(const std::function<bool()>& pred,
+                                   SimTime until) {
+  return run_loop(until, &pred);
+}
+
+std::uint64_t Simulator::run_loop(SimTime until,
+                                  const std::function<bool()>* pred) {
+  stop_requested_ = false;
+  std::uint64_t fired = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.next_time() > until) break;
+    auto ev = queue_.pop();
+    now_ = ev.time;
+    ev.callback();
+    ++fired;
+    ++processed_;
+    if (event_budget_ != 0 && fired > event_budget_) {
+      throw EventBudgetExceeded(event_budget_);
+    }
+    if (pred != nullptr && (*pred)()) break;
+  }
+  // When stopping because the horizon was reached, advance the clock so that
+  // metrics integrate exactly up to `until`.
+  if (queue_.empty() || queue_.next_time() > until) {
+    if (until != kTimeInfinity && until > now_) now_ = until;
+  }
+  return fired;
+}
+
+}  // namespace mra::sim

@@ -1,0 +1,88 @@
+// The discrete-event simulation engine.
+//
+// Single-threaded and deterministic: events fire in (time, scheduling order)
+// and all randomness comes from seeded RNGs owned by the caller. Parallelism
+// in this project happens one level up (independent simulations run on a
+// thread pool, see experiment/sweep.hpp), never inside one simulation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace mra::sim {
+
+/// Thrown when a simulation exceeds its event budget — in this project that
+/// always means a protocol livelock (e.g. a message forwarded forever), so
+/// tests convert it into a failure instead of hanging.
+class EventBudgetExceeded : public std::runtime_error {
+ public:
+  explicit EventBudgetExceeded(std::uint64_t budget)
+      : std::runtime_error("simulation exceeded event budget of " +
+                           std::to_string(budget)) {}
+};
+
+/// Discrete-event simulator: a clock plus an event queue.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `cb` to run `delay` after now. Negative delays are clamped to
+  /// zero (fires this instant, after already-queued same-instant events).
+  EventId schedule_in(SimDuration delay, EventQueue::Callback cb) {
+    if (delay < 0) delay = 0;
+    return queue_.schedule(now_ + delay, std::move(cb));
+  }
+
+  /// Schedules `cb` at absolute time `at` (clamped to now).
+  EventId schedule_at(SimTime at, EventQueue::Callback cb) {
+    if (at < now_) at = now_;
+    return queue_.schedule(at, std::move(cb));
+  }
+
+  /// Cancels a scheduled event; no-op if already fired.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the event queue drains or `until` is reached, whichever is
+  /// first. Events scheduled exactly at `until` do fire. Returns the number
+  /// of events processed by this call.
+  std::uint64_t run(SimTime until = kTimeInfinity);
+
+  /// Runs until the queue drains, `until` is reached, or `pred()` becomes
+  /// true (checked after each event).
+  std::uint64_t run_until(const std::function<bool()>& pred,
+                          SimTime until = kTimeInfinity);
+
+  /// Requests an orderly stop from inside an event callback.
+  void stop() { stop_requested_ = true; }
+
+  /// True when the pending-event set is empty.
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+  /// Total events processed over the simulator's lifetime.
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+  /// Caps the total number of events one run() may process (livelock guard).
+  /// 0 disables the cap.
+  void set_event_budget(std::uint64_t budget) { event_budget_ = budget; }
+
+ private:
+  std::uint64_t run_loop(SimTime until, const std::function<bool()>* pred);
+
+  EventQueue queue_;
+  SimTime now_ = kTimeZero;
+  std::uint64_t processed_ = 0;
+  std::uint64_t event_budget_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace mra::sim

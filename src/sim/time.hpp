@@ -1,0 +1,39 @@
+// Simulated-time primitives.
+//
+// All simulation timestamps are integer nanoseconds (`SimTime`). Integer time
+// keeps event ordering exact and reruns bit-reproducible, which the property
+// tests rely on. Helpers convert from the units the paper uses (ms).
+#pragma once
+
+#include <cstdint>
+
+namespace mra::sim {
+
+/// Absolute simulated time, in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// Relative simulated duration, in nanoseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimTime kTimeZero = 0;
+
+/// Largest representable time; used as "never".
+inline constexpr SimTime kTimeInfinity = INT64_MAX;
+
+constexpr SimDuration nanoseconds(std::int64_t n) { return n; }
+constexpr SimDuration microseconds(std::int64_t us) { return us * 1'000; }
+constexpr SimDuration milliseconds(std::int64_t ms) { return ms * 1'000'000; }
+constexpr SimDuration seconds(std::int64_t s) { return s * 1'000'000'000; }
+
+/// Converts a floating-point millisecond count (the paper's unit) to SimTime.
+constexpr SimDuration from_ms(double ms) {
+  return static_cast<SimDuration>(ms * 1e6);
+}
+
+/// Converts a SimTime/SimDuration to floating-point milliseconds.
+constexpr double to_ms(SimDuration t) { return static_cast<double>(t) / 1e6; }
+
+/// Converts to floating-point seconds.
+constexpr double to_sec(SimDuration t) { return static_cast<double>(t) / 1e9; }
+
+}  // namespace mra::sim

@@ -1,0 +1,68 @@
+#include "workload/driver.hpp"
+
+#include <cassert>
+
+namespace mra::workload {
+
+NodeDriver::NodeDriver(AllocatorNode& node, sim::Simulator& simulator,
+                       const WorkloadConfig& config, sim::Rng rng,
+                       metrics::Collector& collector)
+    : node_(node), sim_(simulator), gen_(config, rng), collector_(collector) {
+  node_.set_grant_callback([this](RequestId /*seq*/) { on_granted(); });
+}
+
+void NodeDriver::start() {
+  sim_.schedule_in(gen_.draw_think_time(), [this]() { issue_request(); });
+}
+
+void NodeDriver::issue_request() {
+  if (stopped_) return;
+  assert(node_.state() == ProcessState::kIdle);
+  const int size = gen_.draw_size();
+  const ResourceSet rs = gen_.draw_resources(size);
+  current_cs_time_ = gen_.draw_cs_duration(size);
+  collector_.on_issue(sim_.now(), node_.id(), node_.current_request_id() + 1, rs);
+  node_.request(rs);
+}
+
+void NodeDriver::on_granted() {
+  collector_.on_grant(sim_.now(), node_.id(), node_.current_request_id(),
+                      node_.current_request());
+  // The CS body: hold everything for the drawn duration. release() must not
+  // run inside the grant callback (protocols may still be mid-handler), so
+  // even a zero-length CS goes through the event queue.
+  sim_.schedule_in(current_cs_time_, [this]() { on_cs_done(); });
+}
+
+void NodeDriver::on_cs_done() {
+  const ResourceSet held = node_.current_request();
+  collector_.on_release(sim_.now(), node_.id(), node_.current_request_id(),
+                        held);
+  node_.release();
+  ++cycles_;
+  sim_.schedule_in(gen_.draw_think_time(), [this]() { issue_request(); });
+}
+
+WorkloadRunner::WorkloadRunner(algo::AllocationSystem& system,
+                               const WorkloadConfig& config, std::uint64_t seed,
+                               std::size_t size_buckets)
+    : system_(system),
+      cfg_(config),
+      collector_(system.num_resources(), size_buckets) {
+  collector_.set_max_size(static_cast<std::size_t>(config.phi));
+  sim::Rng master(seed);
+  for (int i = 0; i < system.num_sites(); ++i) {
+    drivers_.push_back(std::make_unique<NodeDriver>(
+        system.node(i), system.simulator(), cfg_, master.split(), collector_));
+  }
+}
+
+void WorkloadRunner::start() {
+  for (auto& d : drivers_) d->start();
+}
+
+void WorkloadRunner::stop_issuing() {
+  for (auto& d : drivers_) d->stop();
+}
+
+}  // namespace mra::workload

@@ -1,0 +1,66 @@
+// Drives one site through think -> request -> CS -> release cycles and feeds
+// the metrics collector. Algorithm-agnostic: it only talks to AllocatorNode.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "algo/factory.hpp"
+#include "core/allocator.hpp"
+#include "metrics/collector.hpp"
+#include "workload/workload.hpp"
+
+namespace mra::workload {
+
+class NodeDriver {
+ public:
+  NodeDriver(AllocatorNode& node, sim::Simulator& simulator,
+             const WorkloadConfig& config, sim::Rng rng,
+             metrics::Collector& collector);
+
+  /// Schedules the first request (after one think time).
+  void start();
+
+  /// Stops issuing new requests (in-flight ones complete).
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::uint64_t cycles_completed() const { return cycles_; }
+
+ private:
+  void issue_request();
+  void on_granted();
+  void on_cs_done();
+
+  AllocatorNode& node_;
+  sim::Simulator& sim_;
+  RequestGenerator gen_;
+  metrics::Collector& collector_;
+  bool stopped_ = false;
+  std::uint64_t cycles_ = 0;
+  sim::SimDuration current_cs_time_ = 0;
+};
+
+/// Convenience bundle: drivers for every node of a system plus the shared
+/// collector; the standard way experiments and examples run a workload.
+class WorkloadRunner {
+ public:
+  WorkloadRunner(algo::AllocationSystem& system, const WorkloadConfig& config,
+                 std::uint64_t seed, std::size_t size_buckets = 6);
+
+  /// Starts all drivers (system must already be started).
+  void start();
+
+  void stop_issuing();
+
+  [[nodiscard]] metrics::Collector& collector() { return collector_; }
+  [[nodiscard]] const metrics::Collector& collector() const { return collector_; }
+  [[nodiscard]] const WorkloadConfig& config() const { return cfg_; }
+
+ private:
+  algo::AllocationSystem& system_;
+  WorkloadConfig cfg_;
+  metrics::Collector collector_;
+  std::vector<std::unique_ptr<NodeDriver>> drivers_;
+};
+
+}  // namespace mra::workload

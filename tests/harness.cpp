@@ -1,0 +1,80 @@
+#include "harness.hpp"
+
+#include <functional>
+
+namespace mra::test {
+
+StressOutcome run_stress(const StressOptions& options) {
+  algo::SystemConfig sys;
+  sys.algorithm = options.algorithm;
+  sys.num_sites = options.num_sites;
+  sys.num_resources = options.num_resources;
+  sys.seed = options.seed;
+  auto system = algo::AllocationSystem::create(sys);
+  system->start();
+  auto& sim = system->simulator();
+  sim.set_event_budget(50'000'000ULL);
+
+  sim::Rng rng(options.seed * 7919 + 13);
+  workload::WorkloadConfig wl;
+  wl.num_resources = options.num_resources;
+  wl.phi = options.phi;
+  wl.rho = options.rho;
+  workload::RequestGenerator gen(wl, rng.split());
+
+  StressOutcome outcome;
+  ResourceSet busy(options.num_resources);        // safety checker
+  std::vector<int> remaining(static_cast<std::size_t>(options.num_sites),
+                             options.requests_per_site);
+  std::uint64_t in_cs = 0;
+
+  std::function<void(SiteId)> issue = [&](SiteId s) {
+    if (remaining[static_cast<std::size_t>(s)]-- <= 0) return;
+    const int size = gen.draw_size();
+    system->node(s).request(gen.draw_resources(size));
+  };
+
+  for (SiteId s = 0; s < options.num_sites; ++s) {
+    auto& node = system->node(s);
+    node.set_grant_callback([&, s](RequestId) {
+      // SAFETY: the granted set must be disjoint from everything in use.
+      const ResourceSet& rs = system->node(s).current_request();
+      EXPECT_FALSE(rs.intersects(busy))
+          << "mutual exclusion violated at t=" << sim.now() << " site " << s
+          << " set " << rs.to_string() << " busy " << busy.to_string();
+      busy |= rs;
+      ++in_cs;
+      outcome.max_concurrent_cs = std::max(outcome.max_concurrent_cs, in_cs);
+      sim.schedule_in(options.cs_time, [&, s]() {
+        const ResourceSet held = system->node(s).current_request();
+        busy -= held;
+        --in_cs;
+        ++outcome.completed;
+        system->node(s).release();
+        sim.schedule_in(
+            static_cast<sim::SimDuration>(rng.uniform_int(
+                0, static_cast<std::int64_t>(options.max_think))),
+            [&, s]() { issue(s); });
+      });
+    });
+    sim.schedule_in(static_cast<sim::SimDuration>(
+                        rng.uniform_int(0, static_cast<std::int64_t>(
+                                               options.max_think))),
+                    [&, s]() { issue(s); });
+  }
+
+  sim.run();
+
+  outcome.quiescent = sim.idle();
+  outcome.all_idle = true;
+  for (SiteId s = 0; s < options.num_sites; ++s) {
+    if (system->node(s).state() != ProcessState::kIdle) {
+      outcome.all_idle = false;
+    }
+  }
+  outcome.messages = system->network().total_messages();
+  outcome.end_time = sim.now();
+  return outcome;
+}
+
+}  // namespace mra::test

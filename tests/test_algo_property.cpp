@@ -1,0 +1,164 @@
+// Property-based protocol tests: every algorithm must satisfy safety
+// (mutual exclusion of conflicting requests), liveness (all requests served,
+// clean quiescence) and the concurrency property (non-conflicting requests
+// overlap) across a grid of system sizes, request-size regimes and seeds.
+#include <gtest/gtest.h>
+
+#include "harness.hpp"
+
+namespace mra::test {
+namespace {
+
+struct GridParam {
+  algo::Algorithm algorithm;
+  int num_sites;
+  int num_resources;
+  int phi;
+  std::uint64_t seed;
+};
+
+std::string param_name(const ::testing::TestParamInfo<GridParam>& info) {
+  std::string name = algo::to_string(info.param.algorithm);
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name + "_n" + std::to_string(info.param.num_sites) + "_m" +
+         std::to_string(info.param.num_resources) + "_phi" +
+         std::to_string(info.param.phi) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+class ProtocolGrid : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(ProtocolGrid, SafetyAndLiveness) {
+  const GridParam& p = GetParam();
+  StressOptions opt;
+  opt.algorithm = p.algorithm;
+  opt.num_sites = p.num_sites;
+  opt.num_resources = p.num_resources;
+  opt.phi = p.phi;
+  opt.seed = p.seed;
+  opt.requests_per_site = 20;
+
+  const StressOutcome out = run_stress(opt);
+
+  // Liveness: the fixed request budget is fully served, the event queue
+  // drains, and every site returns to Idle.
+  EXPECT_EQ(out.completed,
+            static_cast<std::uint64_t>(p.num_sites) * 20u);
+  EXPECT_TRUE(out.quiescent);
+  EXPECT_TRUE(out.all_idle);
+}
+
+std::vector<GridParam> make_grid() {
+  std::vector<GridParam> grid;
+  const std::vector<algo::Algorithm> algorithms = {
+      algo::Algorithm::kIncremental,   algo::Algorithm::kBouabdallahLaforest,
+      algo::Algorithm::kLassWithoutLoan, algo::Algorithm::kLassWithLoan,
+      algo::Algorithm::kCentralSharedMemory, algo::Algorithm::kMaddi};
+  struct Shape {
+    int n, m, phi;
+  };
+  const std::vector<Shape> shapes = {
+      {2, 1, 1},    // minimal: one resource, pure mutual exclusion
+      {3, 2, 2},    // the paper's Figure 3 topology
+      {8, 12, 4},   // small requests over a roomy universe
+      {8, 6, 6},    // requests may span the whole universe (max conflicts)
+      {16, 10, 3},  // more sites than resources
+  };
+  for (auto alg : algorithms) {
+    for (const auto& s : shapes) {
+      for (std::uint64_t seed : {1ULL, 7ULL, 1234ULL}) {
+        grid.push_back(GridParam{alg, s.n, s.m, s.phi, seed});
+      }
+    }
+  }
+  return grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ProtocolGrid, ::testing::ValuesIn(make_grid()),
+                         param_name);
+
+// High-contention soak: every site wants large overlapping sets; this is the
+// regime where deadlock bugs surface (wait-for cycles across queues).
+class ContentionSoak : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ContentionSoak, AllAlgorithmsSurviveMaxConflict) {
+  for (auto alg : {algo::Algorithm::kIncremental,
+                   algo::Algorithm::kBouabdallahLaforest,
+                   algo::Algorithm::kLassWithoutLoan,
+                   algo::Algorithm::kLassWithLoan, algo::Algorithm::kMaddi}) {
+    StressOptions opt;
+    opt.algorithm = alg;
+    opt.num_sites = 6;
+    opt.num_resources = 4;
+    opt.phi = 4;  // requests up to the full universe
+    opt.seed = GetParam();
+    opt.requests_per_site = 30;
+    opt.max_think = 0;  // re-request immediately: sustained saturation
+    const StressOutcome out = run_stress(opt);
+    EXPECT_EQ(out.completed, 180u) << algo::to_string(alg);
+    EXPECT_TRUE(out.all_idle) << algo::to_string(alg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContentionSoak,
+                         ::testing::Values(3, 17, 99, 2024, 31337));
+
+// The concurrency property (§1): two non-conflicting requests must be able
+// to run simultaneously. With many resources and tiny requests, overlap is
+// statistically certain unless an algorithm serializes needlessly.
+TEST(ConcurrencyProperty, NonConflictingRequestsOverlap) {
+  for (auto alg :
+       {algo::Algorithm::kIncremental, algo::Algorithm::kLassWithoutLoan,
+        algo::Algorithm::kLassWithLoan, algo::Algorithm::kCentralSharedMemory,
+        algo::Algorithm::kMaddi}) {
+    StressOptions opt;
+    opt.algorithm = alg;
+    opt.num_sites = 12;
+    opt.num_resources = 48;
+    opt.phi = 2;
+    opt.requests_per_site = 30;
+    opt.max_think = sim::from_ms(0.5);
+    opt.cs_time = sim::from_ms(5.0);
+    const StressOutcome out = run_stress(opt);
+    EXPECT_GT(out.max_concurrent_cs, 1u)
+        << algo::to_string(alg) << " serialized non-conflicting requests";
+  }
+}
+
+// The global-lock variant of BL is expected to overlap *acquisitions* never,
+// but critical sections still overlap once the control token moved on.
+TEST(ConcurrencyProperty, BouabdallahLaforestOverlapsCs) {
+  StressOptions opt;
+  opt.algorithm = algo::Algorithm::kBouabdallahLaforest;
+  opt.num_sites = 12;
+  opt.num_resources = 48;
+  opt.phi = 2;
+  opt.requests_per_site = 30;
+  opt.cs_time = sim::from_ms(10.0);
+  opt.max_think = sim::from_ms(0.5);
+  const StressOutcome out = run_stress(opt);
+  EXPECT_GT(out.max_concurrent_cs, 1u);
+}
+
+// Determinism: identical options give bit-identical outcomes; different
+// seeds genuinely change the schedule.
+TEST(Determinism, SameSeedSameRun) {
+  StressOptions opt;
+  opt.algorithm = algo::Algorithm::kLassWithLoan;
+  opt.seed = 77;
+  const StressOutcome a = run_stress(opt);
+  const StressOutcome b = run_stress(opt);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.max_concurrent_cs, b.max_concurrent_cs);
+
+  opt.seed = 78;
+  const StressOutcome c = run_stress(opt);
+  EXPECT_NE(a.end_time, c.end_time);
+}
+
+}  // namespace
+}  // namespace mra::test

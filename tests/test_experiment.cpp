@@ -1,0 +1,158 @@
+// Experiment harness: determinism, sweep parallel==serial, table/CSV, gantt.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "experiment/experiment.hpp"
+#include "experiment/gantt.hpp"
+#include "experiment/sweep.hpp"
+#include "experiment/table.hpp"
+
+namespace mra::experiment {
+namespace {
+
+ExperimentConfig small_config(algo::Algorithm alg, std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.system.algorithm = alg;
+  cfg.system.num_sites = 6;
+  cfg.system.num_resources = 8;
+  cfg.system.seed = seed;
+  cfg.workload = workload::high_load(3, 8);
+  cfg.warmup = sim::from_ms(100);
+  cfg.measure = sim::from_ms(1500);
+  return cfg;
+}
+
+TEST(Experiment, DeterministicAcrossRuns) {
+  const auto a = run_experiment(small_config(algo::Algorithm::kLassWithLoan, 4));
+  const auto b = run_experiment(small_config(algo::Algorithm::kLassWithLoan, 4));
+  EXPECT_EQ(a.requests_completed, b.requests_completed);
+  EXPECT_DOUBLE_EQ(a.use_rate, b.use_rate);
+  EXPECT_DOUBLE_EQ(a.waiting_mean_ms, b.waiting_mean_ms);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.bytes, b.bytes);
+}
+
+TEST(Experiment, SeedChangesOutcome) {
+  const auto a = run_experiment(small_config(algo::Algorithm::kLassWithLoan, 4));
+  const auto b = run_experiment(small_config(algo::Algorithm::kLassWithLoan, 5));
+  EXPECT_NE(a.messages, b.messages);
+}
+
+TEST(Experiment, ReportsMessageKinds) {
+  const auto r = run_experiment(small_config(algo::Algorithm::kLassWithLoan, 4));
+  EXPECT_TRUE(r.messages_by_kind.contains("Lass.Token"));
+  EXPECT_TRUE(r.messages_by_kind.contains("Lass.Req"));
+  std::uint64_t sum = 0;
+  for (const auto& [kind, count] : r.messages_by_kind) sum += count;
+  EXPECT_EQ(sum, r.messages);
+}
+
+TEST(Experiment, CentralHasNoMessages) {
+  const auto r =
+      run_experiment(small_config(algo::Algorithm::kCentralSharedMemory, 4));
+  EXPECT_EQ(r.messages, 0u) << "the shared-memory reference must not network";
+  EXPECT_GT(r.requests_completed, 50u);
+}
+
+TEST(Sweep, ParallelMatchesSerial) {
+  std::vector<ExperimentConfig> configs;
+  for (std::uint64_t s = 1; s <= 6; ++s) {
+    configs.push_back(small_config(algo::Algorithm::kLassWithoutLoan, s));
+  }
+  const auto serial = run_sweep(configs, /*threads=*/1);
+  const auto parallel = run_sweep(configs, /*threads=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].messages, parallel[i].messages);
+    EXPECT_DOUBLE_EQ(serial[i].use_rate, parallel[i].use_rate);
+  }
+}
+
+TEST(Sweep, EmptyInputIsFine) {
+  EXPECT_TRUE(run_sweep({}).empty());
+}
+
+TEST(TableTest, PrintsAlignedAndRejectsBadRows) {
+  Table t({"a", "long-header", "c"});
+  t.add_row({"1", "2", "3"});
+  EXPECT_THROW(t.add_row({"1", "2"}), std::invalid_argument);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("| 1 |"), std::string::npos);
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+}
+
+TEST(TableTest, CsvEscapesSeparators) {
+  Table t({"name", "value"});
+  t.add_row({"with,comma", "with\"quote"});
+  const std::string path = "/tmp/lass_test_table.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string header;
+  std::string line;
+  std::getline(in, header);
+  std::getline(in, line);
+  EXPECT_EQ(header, "name,value");
+  EXPECT_EQ(line, "\"with,comma\",\"with\"\"quote\"");
+  std::remove(path.c_str());
+}
+
+TEST(Gantt, RendersBusyLanes) {
+  std::vector<metrics::RequestRecord> records;
+  metrics::RequestRecord rec;
+  rec.site = 3;
+  rec.size = 2;
+  rec.granted = 0;
+  rec.released = sim::from_ms(50);
+  rec.resources = {0, 1};
+  records.push_back(rec);
+
+  GanttOptions opt;
+  opt.columns = 10;
+  opt.start = 0;
+  opt.end = sim::from_ms(100);
+  std::ostringstream os;
+  render_gantt(os, records, /*num_resources=*/2, opt);
+  const std::string out = os.str();
+  // First half of both lanes marked with site id 3, second half idle.
+  EXPECT_NE(out.find("33333....."), std::string::npos);
+  EXPECT_DOUBLE_EQ(gantt_busy_fraction(records, 2, opt), 0.5);
+}
+
+TEST(Gantt, EmptyRecordsRenderIdle) {
+  std::ostringstream os;
+  GanttOptions opt;
+  opt.columns = 4;
+  render_gantt(os, {}, 1, opt);
+  EXPECT_NE(os.str().find("...."), std::string::npos);
+  EXPECT_DOUBLE_EQ(gantt_busy_fraction({}, 1, opt), 0.0);
+}
+
+TEST(Experiment, KeepRecordsProducesLog) {
+  auto cfg = small_config(algo::Algorithm::kLassWithLoan, 4);
+  cfg.keep_records = true;
+  const auto r = run_experiment(cfg);
+  EXPECT_FALSE(r.records.empty());
+  for (const auto& rec : r.records) {
+    EXPECT_LE(rec.issued, rec.granted);
+    EXPECT_LT(rec.granted, rec.released);
+    EXPECT_EQ(rec.size, rec.resources.size());
+  }
+}
+
+TEST(Experiment, UseRateWithinBounds) {
+  for (auto alg : algo::all_algorithms()) {
+    const auto r = run_experiment(small_config(alg, 11));
+    EXPECT_GE(r.use_rate, 0.0) << algo::to_string(alg);
+    EXPECT_LE(r.use_rate, 1.0) << algo::to_string(alg);
+    EXPECT_GT(r.requests_completed, 10u) << algo::to_string(alg);
+  }
+}
+
+}  // namespace
+}  // namespace mra::experiment

@@ -1,0 +1,149 @@
+// Infrastructure tests: trace collector, system factory, workload runner.
+#include <gtest/gtest.h>
+
+#include "algo/factory.hpp"
+#include "core/trace.hpp"
+#include "workload/driver.hpp"
+
+namespace mra {
+namespace {
+
+TEST(TraceTest, DisabledByDefaultAndCostsNothing) {
+  Trace t;
+  EXPECT_FALSE(t.enabled());
+  t.log(0, 0, "ignored");
+  EXPECT_TRUE(t.lines().empty());
+}
+
+TEST(TraceTest, CollectsFormattedLines) {
+  Trace t;
+  t.enable();
+  t.log(sim::from_ms(1.5), 3, "hello");
+  ASSERT_EQ(t.lines().size(), 1u);
+  EXPECT_EQ(t.lines()[0], "[1.5ms] s3 hello");
+}
+
+TEST(TraceTest, RingCapacityEvictsOldest) {
+  Trace t;
+  t.enable();
+  t.set_capacity(3);
+  for (int i = 0; i < 5; ++i) t.log(0, i, "x");
+  ASSERT_EQ(t.lines().size(), 3u);
+  EXPECT_EQ(t.lines()[0], "[0ms] s2 x");
+}
+
+TEST(TraceTest, SinkReceivesEveryLine) {
+  Trace t;
+  t.enable();
+  int count = 0;
+  t.set_sink([&](const std::string&) { ++count; });
+  t.log(0, 0, "a");
+  t.log(0, 0, "b");
+  EXPECT_EQ(count, 2);
+  t.clear();
+  EXPECT_TRUE(t.lines().empty());
+}
+
+TEST(Factory, CreatesEveryAlgorithm) {
+  for (auto alg : algo::all_algorithms()) {
+    algo::SystemConfig cfg;
+    cfg.algorithm = alg;
+    cfg.num_sites = 4;
+    cfg.num_resources = 6;
+    auto system = algo::AllocationSystem::create(cfg);
+    system->start();
+    EXPECT_EQ(system->num_sites(), 4);
+    EXPECT_EQ(system->num_resources(), 6);
+    for (SiteId s = 0; s < 4; ++s) {
+      EXPECT_EQ(system->node(s).state(), ProcessState::kIdle);
+      EXPECT_EQ(system->node(s).id(), s);
+    }
+  }
+}
+
+TEST(Factory, RejectsBadConfigAndDoubleStart) {
+  algo::SystemConfig cfg;
+  cfg.num_sites = 0;
+  EXPECT_THROW(algo::AllocationSystem::create(cfg), std::invalid_argument);
+  cfg.num_sites = 2;
+  cfg.num_resources = 0;
+  EXPECT_THROW(algo::AllocationSystem::create(cfg), std::invalid_argument);
+  cfg.num_resources = 2;
+  auto system = algo::AllocationSystem::create(cfg);
+  system->start();
+  EXPECT_THROW(system->start(), std::logic_error);
+}
+
+TEST(Factory, AlgorithmNamesAreDistinct) {
+  std::set<std::string> names;
+  for (auto alg : algo::all_algorithms()) {
+    names.insert(algo::to_string(alg));
+  }
+  EXPECT_EQ(names.size(), algo::all_algorithms().size());
+}
+
+TEST(Factory, HierarchicalTopologySlowsCrossClusterTraffic) {
+  // Same workload; inter-cluster latency dominates the waiting time when
+  // the WAN hop is large.
+  auto run = [](int clusters, double wan_ms) {
+    algo::SystemConfig cfg;
+    cfg.algorithm = algo::Algorithm::kLassWithoutLoan;
+    cfg.num_sites = 8;
+    cfg.num_resources = 8;
+    cfg.hierarchical_clusters = clusters;
+    cfg.hierarchical_remote_latency = sim::from_ms(wan_ms);
+    auto system = algo::AllocationSystem::create(cfg);
+    system->start();
+    // One remote round trip: site 7 (cluster 1) fetches everything from
+    // site 0 (cluster 0).
+    ResourceSet all(8);
+    for (ResourceId r = 0; r < 8; ++r) all.insert(r);
+    sim::SimTime granted = -1;
+    system->node(7).set_grant_callback(
+        [&](RequestId) { granted = system->simulator().now(); });
+    system->node(7).request(all);
+    system->simulator().run();
+    return granted;
+  };
+  const auto flat = run(1, 0.0);
+  const auto wan = run(2, 30.0);
+  EXPECT_GT(wan, flat);
+  EXPECT_GE(wan, sim::from_ms(60.0));  // at least one WAN round trip
+}
+
+TEST(WorkloadRunnerTest, DrivesAllNodesAndStops) {
+  algo::SystemConfig sys;
+  sys.algorithm = algo::Algorithm::kLassWithLoan;
+  sys.num_sites = 4;
+  sys.num_resources = 6;
+  auto system = algo::AllocationSystem::create(sys);
+  system->start();
+
+  workload::WorkloadConfig wl;
+  wl.num_resources = 6;
+  wl.phi = 2;
+  workload::WorkloadRunner runner(*system, wl, /*seed=*/5);
+  runner.start();
+  system->simulator().run(sim::from_ms(500));
+  const auto completed_mid = runner.collector().completed();
+  EXPECT_GT(completed_mid, 0u);
+
+  runner.stop_issuing();
+  system->simulator().run();  // drain in-flight work
+  const auto completed_end = runner.collector().completed();
+  EXPECT_GE(completed_end, completed_mid);
+  // Fully quiescent: no node stuck in a non-idle state.
+  for (SiteId s = 0; s < 4; ++s) {
+    EXPECT_EQ(system->node(s).state(), ProcessState::kIdle);
+  }
+}
+
+TEST(ProcessStateTest, Names) {
+  EXPECT_STREQ(to_string(ProcessState::kIdle), "Idle");
+  EXPECT_STREQ(to_string(ProcessState::kWaitS), "waitS");
+  EXPECT_STREQ(to_string(ProcessState::kWaitCS), "waitCS");
+  EXPECT_STREQ(to_string(ProcessState::kInCS), "inCS");
+}
+
+}  // namespace
+}  // namespace mra

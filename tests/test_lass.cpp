@@ -1,0 +1,302 @@
+// LASS-specific tests: the sorted request queue, the `/` total order, the
+// counter mechanism, the Figure 3 walkthrough, the loan mechanism, and
+// token-conservation invariants.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "algo/lass/node.hpp"
+#include "experiment/experiment.hpp"
+#include "harness.hpp"
+#include "net/network.hpp"
+
+namespace mra::algo::lass {
+namespace {
+
+ReqItem res_item(ResourceId r, SiteId s, RequestId id, double mark) {
+  ReqItem item;
+  item.type = ReqType::kRes;
+  item.r = r;
+  item.sinit = s;
+  item.id = id;
+  item.mark = mark;
+  return item;
+}
+
+TEST(SortedRequestQueue, OrdersByMarkThenSite) {
+  SortedRequestQueue q;
+  q.insert(res_item(0, 3, 1, 5.0));
+  q.insert(res_item(0, 1, 1, 7.0));
+  q.insert(res_item(0, 2, 1, 5.0));  // same mark as site 3: site id breaks tie
+  ASSERT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.head().sinit, 2);
+  EXPECT_EQ(q.pop_head().sinit, 2);
+  EXPECT_EQ(q.pop_head().sinit, 3);
+  EXPECT_EQ(q.pop_head().sinit, 1);
+}
+
+TEST(SortedRequestQueue, OneEntryPerSiteNewerIdWins) {
+  SortedRequestQueue q;
+  EXPECT_TRUE(q.insert(res_item(0, 1, 1, 5.0)));
+  EXPECT_FALSE(q.insert(res_item(0, 1, 1, 9.0)));  // same id ignored
+  EXPECT_EQ(q.head().mark, 5.0);
+  EXPECT_TRUE(q.insert(res_item(0, 1, 2, 9.0)));  // newer id replaces
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.head().mark, 9.0);
+  EXPECT_FALSE(q.insert(res_item(0, 1, 1, 1.0)));  // older id ignored
+  EXPECT_EQ(q.head().id, 2);
+}
+
+TEST(SortedRequestQueue, RemoveSiteAndPrune) {
+  SortedRequestQueue q;
+  q.insert(res_item(0, 0, 3, 1.0));
+  q.insert(res_item(0, 1, 5, 2.0));
+  q.insert(res_item(0, 2, 1, 3.0));
+  EXPECT_TRUE(q.remove_site(1));
+  EXPECT_FALSE(q.remove_site(1));
+  EXPECT_EQ(q.size(), 2u);
+  // last_cs: site 0 satisfied up to id 3 -> its entry (id 3) is obsolete.
+  std::vector<RequestId> last_cs = {3, 0, 0};
+  q.prune_obsolete(last_cs);
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.head().sinit, 2);
+}
+
+TEST(TotalOrder, PrecedesIsStrictTotalOrder) {
+  const ReqItem a = res_item(0, 1, 1, 2.0);
+  const ReqItem b = res_item(0, 2, 1, 2.0);
+  const ReqItem c = res_item(0, 1, 1, 3.0);
+  EXPECT_TRUE(a.precedes(b));   // tie on mark: site order
+  EXPECT_FALSE(b.precedes(a));
+  EXPECT_TRUE(a.precedes(c));
+  EXPECT_FALSE(a.precedes(a));  // irreflexive
+}
+
+// --- full-node scenario fixtures -------------------------------------------
+
+struct LassFixture {
+  sim::Simulator sim;
+  net::Network net{sim, net::make_fixed_latency(sim::from_ms(0.6)), 9};
+  std::vector<std::unique_ptr<LassNode>> nodes;
+  LassConfig cfg;
+
+  LassFixture(int n, int m, bool loan = true) {
+    cfg.num_sites = n;
+    cfg.num_resources = m;
+    cfg.enable_loan = loan;
+    for (int i = 0; i < n; ++i) {
+      nodes.push_back(std::make_unique<LassNode>(cfg));
+      net.add_node(*nodes.back());
+    }
+    net.start();
+  }
+
+  LassNode& node(SiteId s) { return *nodes[static_cast<std::size_t>(s)]; }
+
+  /// Sum of owned tokens across sites plus tokens in transit must equal M.
+  void expect_token_conservation_at_quiescence() {
+    ASSERT_TRUE(sim.idle());
+    std::vector<int> holders(static_cast<std::size_t>(cfg.num_resources), 0);
+    for (auto& n : nodes) {
+      n->owned_tokens().for_each([&](ResourceId r) {
+        ++holders[static_cast<std::size_t>(r)];
+      });
+    }
+    for (ResourceId r = 0; r < cfg.num_resources; ++r) {
+      EXPECT_EQ(holders[static_cast<std::size_t>(r)], 1)
+          << "token multiplicity violated for r" << r;
+    }
+  }
+};
+
+TEST(LassNode, ElectedNodeStartsWithAllTokens) {
+  LassFixture f(3, 2);
+  EXPECT_EQ(f.node(0).owned_tokens().size(), 2u);
+  EXPECT_EQ(f.node(1).owned_tokens().size(), 0u);
+  EXPECT_EQ(f.node(0).state(), ProcessState::kIdle);
+}
+
+TEST(LassNode, Figure3Walkthrough) {
+  // s1(=0) in CS on r_red(=0), s3(=2) in CS on r_blue(=1); s2(=1) asks both.
+  LassFixture f(3, 2);
+  const ResourceSet red(2, {0});
+  const ResourceSet blue(2, {1});
+  const ResourceSet both(2, {0, 1});
+
+  int s1_granted = 0;
+  int s2_granted = 0;
+  int s3_granted = 0;
+  f.node(0).set_grant_callback([&](RequestId) { ++s1_granted; });
+  f.node(1).set_grant_callback([&](RequestId) { ++s2_granted; });
+  f.node(2).set_grant_callback([&](RequestId) { ++s3_granted; });
+
+  // Move r_blue's token to s3 first (s3 requests and enters CS).
+  f.sim.schedule_in(0, [&]() { f.node(0).request(red); });
+  f.sim.schedule_in(0, [&]() { f.node(2).request(blue); });
+  f.sim.run();
+  EXPECT_EQ(s1_granted, 1);  // held the token: synchronous grant
+  EXPECT_EQ(s3_granted, 1);
+
+  // s2 requests both while the others are in CS.
+  f.sim.schedule_in(0, [&]() { f.node(1).request(both); });
+  f.sim.run();
+  EXPECT_EQ(s2_granted, 0) << "s2 must wait: both resources are in use";
+  EXPECT_EQ(f.node(1).state(), ProcessState::kWaitCS);
+  // s2 has collected both counter values by now.
+  EXPECT_NE(f.node(1).counter_vector()[0], 0);
+  EXPECT_NE(f.node(1).counter_vector()[1], 0);
+
+  // Releases let s2 in; afterwards s2 is root of both trees (owns tokens).
+  f.node(0).release();
+  f.node(2).release();
+  f.sim.run();
+  EXPECT_EQ(s2_granted, 1);
+  EXPECT_EQ(f.node(1).state(), ProcessState::kInCS);
+  EXPECT_TRUE(f.node(1).owned_tokens().contains(0));
+  EXPECT_TRUE(f.node(1).owned_tokens().contains(1));
+
+  f.node(1).release();
+  f.sim.run();
+  f.expect_token_conservation_at_quiescence();
+}
+
+TEST(LassNode, CounterValuesAreUniquePerResource) {
+  // Issue staggered requests from every site on one resource and check that
+  // the counter values they observe never repeat (the core of the paper's
+  // deadlock-freedom argument).
+  LassFixture f(6, 1, /*loan=*/false);
+  const ResourceSet r0(1, {0});
+  std::vector<CounterValue> seen;
+  int completed = 0;
+  for (SiteId s = 0; s < 6; ++s) {
+    f.node(s).set_grant_callback([&, s](RequestId) {
+      f.sim.schedule_in(sim::from_ms(1), [&, s]() {
+        ++completed;
+        f.node(s).release();
+      });
+    });
+    f.sim.schedule_in(sim::from_ms(s / 2), [&, s]() {
+      f.node(s).request(r0);
+      // The counter value lands in MyVector once known; sample it later.
+    });
+    f.sim.schedule_in(sim::from_ms(20 + s), [&, s]() {
+      // After everything settled the value is gone (reset on release), so
+      // sample during the run instead via token snapshot below.
+    });
+  }
+  f.sim.run();
+  EXPECT_EQ(completed, 6);
+  // The token's counter ends at 1 (initial) + 6 assignments.
+  SiteId holder = kNoSite;
+  for (SiteId s = 0; s < 6; ++s) {
+    if (f.node(s).owned_tokens().contains(0)) holder = s;
+  }
+  ASSERT_NE(holder, kNoSite);
+  EXPECT_EQ(f.node(holder).token_snapshot(0).counter, 7);
+  f.expect_token_conservation_at_quiescence();
+}
+
+TEST(LassNode, LoanCompletesStarvedRequest) {
+  // s0 owns everything. s1 asks {0,1}; s2 asks {1,2}. After s1 enters CS
+  // holding 0 and 1, s2 misses only 1 -> it may borrow from s1's successor
+  // chain. Regardless of the exact path, liveness must hold and loans must
+  // be returned (lender recovers its tokens).
+  LassFixture f(4, 3, /*loan=*/true);
+  const ResourceSet a(3, {0, 1});
+  const ResourceSet b(3, {1, 2});
+
+  int grants = 0;
+  for (SiteId s : {1, 2}) {
+    f.node(s).set_grant_callback([&, s](RequestId) {
+      ++grants;
+      f.sim.schedule_in(sim::from_ms(2), [&, s]() { f.node(s).release(); });
+    });
+  }
+  f.sim.schedule_in(0, [&]() { f.node(1).request(a); });
+  f.sim.schedule_in(sim::from_ms(0.1), [&]() { f.node(2).request(b); });
+  f.sim.run();
+  EXPECT_EQ(grants, 2);
+  EXPECT_TRUE(f.node(1).lent_resources().empty());
+  EXPECT_TRUE(f.node(2).lent_resources().empty());
+  f.expect_token_conservation_at_quiescence();
+}
+
+TEST(LassNode, LoanMechanismActuallyFires) {
+  // Statistical check: under sustained contention with threshold 1, at least
+  // one loan completes a CS (the Fig. 5/6 "with loan" improvement exists).
+  test::StressOptions opt;
+  opt.algorithm = algo::Algorithm::kLassWithLoan;
+  opt.num_sites = 10;
+  opt.num_resources = 8;
+  opt.phi = 5;
+  opt.requests_per_site = 60;
+  opt.max_think = 0;
+  opt.seed = 5;
+  const test::StressOutcome out = test::run_stress(opt);
+  EXPECT_EQ(out.completed, 600u);
+  // Loans-used counter lives on the nodes, which run_stress hides; instead
+  // run a direct experiment and read the aggregated stats.
+  experiment::ExperimentConfig cfg;
+  cfg.system.algorithm = algo::Algorithm::kLassWithLoan;
+  cfg.system.num_sites = 10;
+  cfg.system.num_resources = 8;
+  cfg.system.seed = 5;
+  cfg.workload = workload::high_load(5, 8);
+  cfg.warmup = sim::from_ms(100);
+  cfg.measure = sim::from_ms(3000);
+  const auto result = experiment::run_experiment(cfg);
+  EXPECT_GT(result.loans_used, 0u);
+}
+
+TEST(LassNode, SingleResourceOptimizationSavesMessages) {
+  // With only single-resource requests, the optimized variant must use
+  // strictly fewer messages for the same schedule.
+  auto run = [](bool opt) {
+    experiment::ExperimentConfig cfg;
+    cfg.system.algorithm = algo::Algorithm::kLassWithoutLoan;
+    cfg.system.num_sites = 8;
+    cfg.system.num_resources = 6;
+    cfg.system.seed = 9;
+    cfg.system.opt_single_resource = opt;
+    cfg.workload = workload::high_load(1, 6);  // phi = 1: all single-resource
+    cfg.warmup = sim::from_ms(100);
+    cfg.measure = sim::from_ms(2000);
+    return run_experiment(cfg);
+  };
+  const auto with = run(true);
+  const auto without = run(false);
+  EXPECT_GT(with.requests_completed, 100u);
+  EXPECT_LT(with.messages_per_cs, without.messages_per_cs);
+}
+
+TEST(LassNode, MarkPolicyChangesSchedule) {
+  auto run = [](MarkPolicy p) {
+    experiment::ExperimentConfig cfg;
+    cfg.system.algorithm = algo::Algorithm::kLassWithoutLoan;
+    cfg.system.num_sites = 8;
+    cfg.system.num_resources = 6;
+    cfg.system.seed = 12;
+    cfg.system.mark_policy = p;
+    cfg.workload = workload::high_load(4, 6);
+    cfg.warmup = sim::from_ms(100);
+    cfg.measure = sim::from_ms(2000);
+    return run_experiment(cfg);
+  };
+  const auto avg = run(MarkPolicy::kAverageNonZero);
+  const auto sum = run(MarkPolicy::kSumNonZero);
+  // Both live; schedules differ (different completion counts or waits).
+  EXPECT_GT(avg.requests_completed, 50u);
+  EXPECT_GT(sum.requests_completed, 50u);
+  EXPECT_TRUE(avg.requests_completed != sum.requests_completed ||
+              avg.waiting_mean_ms != sum.waiting_mean_ms);
+}
+
+TEST(LassNode, InvalidConfigThrows) {
+  LassConfig cfg;
+  EXPECT_THROW(LassNode{cfg}, std::invalid_argument);
+  cfg.num_sites = 2;
+  EXPECT_THROW(LassNode{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mra::algo::lass

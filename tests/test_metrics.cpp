@@ -1,0 +1,172 @@
+// Metrics: streaming stats, histogram, exact use-rate integration, collector.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/collector.hpp"
+#include "metrics/stats.hpp"
+#include "metrics/usage.hpp"
+#include "sim/random.hpp"
+
+namespace mra::metrics {
+namespace {
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  sim::Rng rng(5);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform_real(-10, 10);
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(3.0);
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(Histogram, BucketsAndPercentiles) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_EQ(h.total(), 100u);
+  for (std::size_t b = 0; b < 10; ++b) EXPECT_EQ(h.bucket_count(b), 10u);
+  EXPECT_NEAR(h.percentile(50), 50.0, 10.0);
+  EXPECT_NEAR(h.percentile(99), 100.0, 10.0);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(1e9);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(4), 1u);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(UsageTracker, ExactIntegration) {
+  UsageTracker u(4);
+  ResourceSet a(4, {0, 1});
+  ResourceSet b(4, {2});
+  u.on_acquire(100, a);
+  u.on_release(300, a);  // 2 resources x 200 = 400
+  u.on_acquire(200, b);
+  u.on_release(250, b);  // 1 x 50 = 50
+  EXPECT_DOUBLE_EQ(u.busy_integral(1000), 450.0);
+  EXPECT_DOUBLE_EQ(u.use_rate(1000), 450.0 / (1000.0 * 4.0));
+}
+
+TEST(UsageTracker, InFlightIntervalCountsUpToNow) {
+  UsageTracker u(2);
+  ResourceSet a(2, {0});
+  u.on_acquire(10, a);
+  EXPECT_DOUBLE_EQ(u.busy_integral(110), 100.0);
+  EXPECT_DOUBLE_EQ(u.use_rate(110), 100.0 / (110.0 * 2.0));
+}
+
+TEST(UsageTracker, ResetCutsWindowButKeepsInFlight) {
+  UsageTracker u(1);
+  ResourceSet a(1, {0});
+  u.on_acquire(0, a);
+  u.reset(100);  // warm-up cut while resource busy
+  u.on_release(150, a);
+  // Only [100, 150] counts, window starts at 100.
+  EXPECT_DOUBLE_EQ(u.busy_integral(200), 50.0);
+  EXPECT_DOUBLE_EQ(u.use_rate(200), 50.0 / 100.0);
+}
+
+TEST(Collector, WaitingTimesAndSizeBuckets) {
+  Collector c(/*num_resources=*/10, /*size_buckets=*/2);
+  c.set_max_size(4);
+  ResourceSet small(10, {0});
+  ResourceSet large(10, {1, 2, 3});
+
+  c.on_issue(0, /*site=*/0, 1, small);
+  c.on_grant(sim::from_ms(2), 0, 1, small);   // wait 2 ms, size 1 -> bucket 0
+  c.on_release(sim::from_ms(3), 0, 1, small);
+
+  c.on_issue(0, /*site=*/1, 1, large);
+  c.on_grant(sim::from_ms(10), 1, 1, large);  // wait 10 ms, size 3 -> bucket 1
+  c.on_release(sim::from_ms(12), 1, 1, large);
+
+  EXPECT_EQ(c.completed(), 2u);
+  EXPECT_DOUBLE_EQ(c.waiting().mean(), 6.0);
+  EXPECT_EQ(c.waiting_by_size()[0].count(), 1u);
+  EXPECT_DOUBLE_EQ(c.waiting_by_size()[0].mean(), 2.0);
+  EXPECT_EQ(c.waiting_by_size()[1].count(), 1u);
+  EXPECT_DOUBLE_EQ(c.waiting_by_size()[1].mean(), 10.0);
+}
+
+TEST(Collector, ResetExcludesEarlierRequests) {
+  Collector c(4, 1);
+  c.set_max_size(4);
+  ResourceSet rs(4, {0});
+  c.on_issue(0, 0, 1, rs);
+  c.reset(sim::from_ms(1));  // cut after issue, before grant
+  c.on_grant(sim::from_ms(5), 0, 1, rs);
+  c.on_release(sim::from_ms(6), 0, 1, rs);
+  EXPECT_EQ(c.waiting().count(), 0u)
+      << "requests issued before the cut must not enter waiting stats";
+  // A request fully inside the window counts.
+  c.on_issue(sim::from_ms(7), 0, 2, rs);
+  c.on_grant(sim::from_ms(9), 0, 2, rs);
+  c.on_release(sim::from_ms(10), 0, 2, rs);
+  EXPECT_EQ(c.waiting().count(), 1u);
+  EXPECT_DOUBLE_EQ(c.waiting().mean(), 2.0);
+}
+
+TEST(Collector, RecordsKeptOnlyWhenEnabled) {
+  Collector c(4, 1);
+  c.set_max_size(4);
+  ResourceSet rs(4, {0});
+  c.on_issue(0, 0, 1, rs);
+  c.on_grant(1, 0, 1, rs);
+  c.on_release(2, 0, 1, rs);
+  EXPECT_TRUE(c.records().empty());
+  c.set_keep_records(true);
+  c.on_issue(3, 0, 2, rs);
+  c.on_grant(4, 0, 2, rs);
+  c.on_release(5, 0, 2, rs);
+  ASSERT_EQ(c.records().size(), 1u);
+  EXPECT_EQ(c.records()[0].seq, 2);
+  EXPECT_EQ(c.records()[0].granted, 4);
+}
+
+}  // namespace
+}  // namespace mra::metrics

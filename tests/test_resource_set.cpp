@@ -1,0 +1,127 @@
+// Unit + property tests for ResourceSet (the bitset behind every protocol's
+// TRequired/TOwned logic).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/resource_set.hpp"
+#include "sim/random.hpp"
+
+namespace mra {
+namespace {
+
+TEST(ResourceSet, BasicInsertEraseContains) {
+  ResourceSet s(100);
+  EXPECT_TRUE(s.empty());
+  s.insert(0);
+  s.insert(63);
+  s.insert(64);
+  s.insert(99);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_TRUE(s.contains(63));
+  EXPECT_TRUE(s.contains(64));
+  EXPECT_FALSE(s.contains(1));
+  s.erase(63);
+  EXPECT_FALSE(s.contains(63));
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(ResourceSet, DuplicateInsertEraseAreIdempotent) {
+  ResourceSet s(10);
+  s.insert(5);
+  s.insert(5);
+  EXPECT_EQ(s.size(), 1u);
+  s.erase(5);
+  s.erase(5);
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(ResourceSet, OutOfRangeThrows) {
+  ResourceSet s(10);
+  EXPECT_THROW(s.insert(10), std::out_of_range);
+  EXPECT_THROW(s.insert(-1), std::out_of_range);
+  EXPECT_FALSE(s.contains(-1));
+  EXPECT_FALSE(s.contains(10));
+}
+
+TEST(ResourceSet, UniverseMismatchThrows) {
+  ResourceSet a(10);
+  ResourceSet b(20);
+  EXPECT_THROW((void)a.subset_of(b), std::invalid_argument);
+  EXPECT_THROW((void)a.intersects(b), std::invalid_argument);
+  EXPECT_THROW(a |= b, std::invalid_argument);
+}
+
+TEST(ResourceSet, SubsetAndIntersection) {
+  ResourceSet a(128, {1, 70, 100});
+  ResourceSet b(128, {1, 2, 70, 100, 127});
+  EXPECT_TRUE(a.subset_of(b));
+  EXPECT_FALSE(b.subset_of(a));
+  EXPECT_TRUE(a.subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  ResourceSet c(128, {3, 4});
+  EXPECT_FALSE(a.intersects(c));
+  ResourceSet empty(128);
+  EXPECT_TRUE(empty.subset_of(a));
+  EXPECT_FALSE(empty.intersects(a));
+}
+
+TEST(ResourceSet, UnionDifferenceIntersection) {
+  ResourceSet a(64, {0, 1, 2});
+  ResourceSet b(64, {2, 3});
+  EXPECT_EQ(a.set_union(b), ResourceSet(64, {0, 1, 2, 3}));
+  EXPECT_EQ(a.set_difference(b), ResourceSet(64, {0, 1}));
+  EXPECT_EQ(a.set_intersection(b), ResourceSet(64, {2}));
+  a |= b;
+  EXPECT_EQ(a.size(), 4u);
+  a -= b;
+  EXPECT_EQ(a, ResourceSet(64, {0, 1}));
+}
+
+TEST(ResourceSet, ToVectorSortedAndToString) {
+  ResourceSet s(80, {7, 3, 41});
+  EXPECT_EQ(s.to_vector(), (std::vector<ResourceId>{3, 7, 41}));
+  EXPECT_EQ(s.to_string(), "{3, 7, 41}");
+  EXPECT_EQ(ResourceSet(5).to_string(), "{}");
+}
+
+TEST(ResourceSet, ForEachVisitsAscending) {
+  ResourceSet s(200, {199, 0, 64, 65, 128});
+  std::vector<ResourceId> seen;
+  s.for_each([&](ResourceId r) { seen.push_back(r); });
+  EXPECT_EQ(seen, (std::vector<ResourceId>{0, 64, 65, 128, 199}));
+}
+
+// Property test against std::set as the reference model.
+TEST(ResourceSetProperty, MatchesReferenceModel) {
+  sim::Rng rng(31);
+  for (int round = 0; round < 50; ++round) {
+    const ResourceId universe = static_cast<ResourceId>(rng.uniform_int(1, 300));
+    ResourceSet a(universe);
+    ResourceSet b(universe);
+    std::set<ResourceId> ra;
+    std::set<ResourceId> rb;
+    for (int op = 0; op < 200; ++op) {
+      const auto r = static_cast<ResourceId>(rng.uniform_int(0, universe - 1));
+      switch (rng.uniform_int(0, 3)) {
+        case 0: a.insert(r); ra.insert(r); break;
+        case 1: a.erase(r); ra.erase(r); break;
+        case 2: b.insert(r); rb.insert(r); break;
+        default: b.erase(r); rb.erase(r); break;
+      }
+    }
+    ASSERT_EQ(a.size(), ra.size());
+    ASSERT_EQ(b.size(), rb.size());
+    const bool ref_subset =
+        std::includes(rb.begin(), rb.end(), ra.begin(), ra.end());
+    ASSERT_EQ(a.subset_of(b), ref_subset);
+    bool ref_intersects = false;
+    for (ResourceId r : ra) ref_intersects |= rb.count(r) > 0;
+    ASSERT_EQ(a.intersects(b), ref_intersects);
+    std::vector<ResourceId> ref_vec(ra.begin(), ra.end());
+    ASSERT_EQ(a.to_vector(), ref_vec);
+  }
+}
+
+}  // namespace
+}  // namespace mra

@@ -1,0 +1,234 @@
+// Unit tests for the discrete-event engine and RNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace mra::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&]() { order.push_back(3); });
+  q.schedule(10, [&]() { order.push_back(1); });
+  q.schedule(20, [&]() { order.push_back(2); });
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameInstantFiresInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5, [&order, i]() { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().callback();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule(10, [&]() { ++fired; });
+  q.schedule(20, [&]() { ++fired; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // double cancel is a no-op
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop) {
+  EventQueue q;
+  const EventId id = q.schedule(1, []() {});
+  q.pop().callback();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.schedule(5, []() {});
+  q.schedule(9, []() {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), 9);
+}
+
+TEST(EventQueue, EmptyQueueReportsInfinity) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), kTimeInfinity);
+}
+
+TEST(Simulator, ClockFollowsEvents) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.schedule_in(100, [&]() { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, RunUntilHorizonAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(50, [&]() { ++fired; });
+  sim.schedule_in(500, [&]() { ++fired; });
+  sim.run(/*until=*/200);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 200);  // clock lands exactly on the horizon
+  sim.run(/*until=*/1000);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventExactlyAtHorizonFires) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(200, [&]() { ++fired; });
+  sim.run(/*until=*/200);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, NestedSchedulingKeepsOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_in(10, [&]() {
+    order.push_back(1);
+    sim.schedule_in(0, [&]() { order.push_back(2); });  // same instant, later
+    sim.schedule_in(5, [&]() { order.push_back(4); });
+  });
+  sim.schedule_in(10, [&]() { order.push_back(3); });  // scheduled first? no:
+  // scheduled earlier than the nested ones but at the same instant as #1.
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2, 4}));
+}
+
+TEST(Simulator, StopEndsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(1, [&]() {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_in(2, [&]() { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilPredicate) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> tick = [&]() {
+    ++count;
+    sim.schedule_in(10, tick);
+  };
+  sim.schedule_in(0, tick);
+  sim.run_until([&]() { return count >= 5; });
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Simulator, EventBudgetThrows) {
+  Simulator sim;
+  sim.set_event_budget(100);
+  std::function<void()> loop = [&]() { sim.schedule_in(1, loop); };
+  sim.schedule_in(0, loop);
+  EXPECT_THROW(sim.run(), EventBudgetExceeded);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.schedule_in(10, [&]() {
+    sim.schedule_in(-5, [&]() { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 10);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIntStaysInRangeAndHitsEnds) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(3, 9);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 9);
+    saw_lo |= v == 3;
+    saw_hi |= v == 9;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(50.0);
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 50.0, 1.5);  // ~3 sigma of the sample mean
+}
+
+TEST(Rng, UniformIntIsRoughlyUniform) {
+  Rng rng(17);
+  std::vector<int> counts(10, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 100);  // within 10% of expectation
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += parent.next_u64() == child.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(TimeHelpers, Conversions) {
+  EXPECT_EQ(milliseconds(5), 5'000'000);
+  EXPECT_EQ(from_ms(0.6), 600'000);
+  EXPECT_DOUBLE_EQ(to_ms(from_ms(12.5)), 12.5);
+  EXPECT_DOUBLE_EQ(to_sec(seconds(3)), 3.0);
+}
+
+}  // namespace
+}  // namespace mra::sim

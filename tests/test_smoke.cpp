@@ -1,0 +1,46 @@
+// End-to-end smoke: every algorithm completes a small workload with sane
+// metrics. Deeper invariants live in the per-module test files.
+#include <gtest/gtest.h>
+
+#include "experiment/experiment.hpp"
+
+namespace mra::experiment {
+namespace {
+
+class SmokeTest : public ::testing::TestWithParam<algo::Algorithm> {};
+
+TEST_P(SmokeTest, CompletesSmallWorkload) {
+  ExperimentConfig cfg;
+  cfg.system.algorithm = GetParam();
+  cfg.system.num_sites = 8;
+  cfg.system.num_resources = 12;
+  cfg.system.seed = 42;
+  cfg.workload = workload::medium_load(/*phi=*/4, /*num_resources=*/12);
+  cfg.warmup = sim::from_ms(200);
+  cfg.measure = sim::from_ms(2000);
+
+  const ExperimentResult result = run_experiment(cfg);
+  EXPECT_GT(result.requests_completed, 20u);
+  EXPECT_GE(result.use_rate, 0.0);
+  EXPECT_LE(result.use_rate, 1.0);
+  EXPECT_GE(result.waiting_mean_ms, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, SmokeTest,
+    ::testing::Values(algo::Algorithm::kIncremental,
+                      algo::Algorithm::kBouabdallahLaforest,
+                      algo::Algorithm::kLassWithoutLoan,
+                      algo::Algorithm::kLassWithLoan,
+                      algo::Algorithm::kCentralSharedMemory,
+                      algo::Algorithm::kMaddi),
+    [](const ::testing::TestParamInfo<algo::Algorithm>& info) {
+      std::string name = algo::to_string(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace mra::experiment
