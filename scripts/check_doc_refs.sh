@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Fails when README.md or DESIGN.md reference repo paths that do not exist.
+# Checked path prefixes: src/ tests/ bench/ examples/ scripts/ .github/
+# (build/ outputs are intentionally not checked — they only exist after a
+# build). Supports the `foo.{hpp,cpp}` brace shorthand used in the docs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for doc in README.md DESIGN.md; do
+  [ -f "$doc" ] || { echo "missing doc: $doc"; fail=1; continue; }
+  refs=$(grep -oE '(src|tests|bench|examples|scripts|\.github)/[A-Za-z0-9_./{},*-]+' "$doc" \
+         | sed 's/[.,;:)]*$//' | sort -u || true)
+  for ref in $refs; do
+    # Expand foo.{hpp,cpp} into both members.
+    if [[ "$ref" == *'{'* ]]; then
+      base="${ref%%\{*}"; rest="${ref#*\{}"; exts="${rest%%\}*}"
+      IFS=',' read -ra parts <<< "$exts"
+      expanded=()
+      for p in "${parts[@]}"; do expanded+=("${base}${p}"); done
+    else
+      expanded=("$ref")
+    fi
+    for path in "${expanded[@]}"; do
+      # A reference is valid when the path exists, it names a source file
+      # without extension (`bench/fig1_gantt` -> bench/fig1_gantt.cpp), or
+      # it is a glob that matches something (`tests/test_*.cpp`).
+      if [ -e "$path" ] || [ -e "$path.cpp" ] || compgen -G "$path" > /dev/null; then
+        continue
+      fi
+      echo "$doc references nonexistent path: $path"
+      fail=1
+    done
+  done
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "doc reference check FAILED"
+  exit 1
+fi
+echo "doc reference check OK"

@@ -1,4 +1,5 @@
-// A set of resource ids over a dense universe [0, M).
+// A set of resource ids over a dense universe [0, M) — the paper's request
+// sets D_i ⊆ R (§3.2) and the token sets TOwned/TRequired of Annex A.
 //
 // Implemented as a dynamic bitset with word-level operations: subset tests
 // and unions are the hot path of every allocation protocol here

@@ -1,4 +1,6 @@
-// Lightweight structured trace for debugging and Gantt extraction.
+// Lightweight structured trace for debugging and Gantt extraction — the
+// tooling behind the paper's Figure 1/4 diagrams and the Figure 3
+// message-exchange walkthrough (see examples/quickstart.cpp).
 //
 // Tracing is off by default and costs one branch per call when disabled.
 // Sinks receive fully formatted lines; the default sink writes to an

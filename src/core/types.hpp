@@ -1,4 +1,7 @@
-// Fundamental identifiers shared by every protocol in the library.
+// Fundamental identifiers shared by every protocol in the library: the
+// paper's system model (§3.1) of N totally-ordered sites and M resources,
+// plus the request/counter identifiers its total order `/` (§3.3.2) is
+// built from.
 #pragma once
 
 #include <cstdint>

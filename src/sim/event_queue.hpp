@@ -1,4 +1,6 @@
-// A deterministic pending-event set for discrete-event simulation.
+// A deterministic pending-event set for discrete-event simulation — the
+// foundation that lets the §5 evaluation be replayed bit-identically from a
+// seed.
 //
 // Events are ordered by (time, sequence number): two events scheduled for the
 // same instant fire in scheduling order. This tie-break is what makes whole

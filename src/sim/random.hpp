@@ -1,4 +1,6 @@
-// Deterministic random number generation.
+// Deterministic random number generation, used for the §5.1 workload model
+// (request sizes x ~ U(1, φ), resource picks, think times) and for latency
+// jitter.
 //
 // We deliberately avoid std::mt19937 + std::*_distribution: libstdc++ does
 // not guarantee distribution output across versions, and reproducibility is a

@@ -1,4 +1,6 @@
-// The discrete-event simulation engine.
+// The discrete-event simulation engine that stands in for the paper's
+// physical testbed (§5.1): protocols run unmodified on top of it while
+// time, latency and load are simulated.
 //
 // Single-threaded and deterministic: events fire in (time, scheduling order)
 // and all randomness comes from seeded RNGs owned by the caller. Parallelism

@@ -1,0 +1,43 @@
+// Build/link sanity: the factory can construct and start every registered
+// algorithm. A broken target or a missing translation unit in the build
+// system shows up here as one fast failure instead of a cryptic link error
+// deep inside a figure bench.
+#include <gtest/gtest.h>
+
+#include "algo/factory.hpp"
+
+namespace mra::algo {
+namespace {
+
+TEST(BuildSanity, FactoryConstructsEveryRegisteredAlgorithm) {
+  const std::vector<Algorithm> algorithms = all_algorithms();
+  ASSERT_FALSE(algorithms.empty());
+
+  for (Algorithm a : algorithms) {
+    SCOPED_TRACE(to_string(a));
+    SystemConfig cfg;
+    cfg.algorithm = a;
+    cfg.num_sites = 4;
+    cfg.num_resources = 6;
+    cfg.seed = 1;
+
+    std::unique_ptr<AllocationSystem> system;
+    ASSERT_NO_THROW(system = AllocationSystem::create(cfg));
+    ASSERT_NE(system, nullptr);
+    system->start();
+
+    EXPECT_EQ(system->num_sites(), cfg.num_sites);
+    for (SiteId s = 0; s < cfg.num_sites; ++s) {
+      EXPECT_EQ(system->node(s).state(), ProcessState::kIdle);
+    }
+  }
+}
+
+TEST(BuildSanity, EveryAlgorithmHasAName) {
+  for (Algorithm a : all_algorithms()) {
+    EXPECT_STRNE(to_string(a), "");
+  }
+}
+
+}  // namespace
+}  // namespace mra::algo
