@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
           paper_config(algo::Algorithm::kLassWithLoan, phi, rho, opts));
     }
   }
-  const auto results = experiment::run_sweep(configs);
+  const auto results = experiment::run_sweep(configs, opts.threads);
 
   Table table({"load", "phi", "BL (CT held)", "BL (CT early)",
                "LASS with loan", "use held/early/lass (%)"});

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
       configs.push_back(cfg);
     }
   }
-  const auto results = experiment::run_sweep(configs);
+  const auto results = experiment::run_sweep(configs, opts.threads);
 
   Table table({"load", "A", "use rate (%)", "mean wait (ms)", "stddev (ms)"});
   std::size_t idx = 0;

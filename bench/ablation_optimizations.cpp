@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
       configs.push_back(cfg);
     }
   }
-  const auto results = experiment::run_sweep(configs);
+  const auto results = experiment::run_sweep(configs, opts.threads);
 
   Table table({"phi", "optimizations", "msgs/CS", "use rate (%)",
                "mean wait (ms)"});

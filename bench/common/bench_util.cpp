@@ -3,21 +3,41 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "core/cli.hpp"
+
 namespace mra::bench {
 
-BenchOptions parse_options(int argc, char** argv) {
+using cli::flag_value;
+
+BenchOptions parse_options(int argc, char** argv, bool supports_json) {
   BenchOptions opts;
+  std::string v;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       opts.quick = true;
-    } else if (arg.rfind("--seed=", 0) == 0) {
-      opts.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
-    } else if (arg.rfind("--csv=", 0) == 0) {
-      opts.csv_path = arg.substr(6);
+    } else if (flag_value(argc, argv, i, "--seed", v)) {
+      opts.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag_value(argc, argv, i, "--threads", v)) {
+      opts.threads = static_cast<unsigned>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (flag_value(argc, argv, i, "--csv", v)) {
+      opts.csv_path = v;
+    } else if (flag_value(argc, argv, i, "--json", v)) {
+      if (!supports_json) {
+        // A requested artifact must fail fast, not be silently dropped.
+        std::cerr << "--json is not supported by this bench (fig5_use_rate, "
+                     "fig6_waiting_phi4 and mra_scenarios emit JSON)\n";
+        std::exit(2);
+      }
+      opts.json_path = v;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "options: --quick --seed=S --csv=PATH\n";
+      std::cout << "options: --quick --seed=S --threads=T --csv=PATH"
+                << (supports_json ? " --json=PATH" : "") << "\n";
       std::exit(0);
+    } else {
+      // A mistyped flag must not silently drop an output artifact either.
+      std::cerr << "unknown option: " << arg << "\n";
+      std::exit(2);
     }
   }
   return opts;
@@ -48,6 +68,14 @@ void emit(const experiment::Table& table, const BenchOptions& options,
     table.write_csv(path);
     std::cout << "(csv: " << path << ")\n";
   }
+}
+
+void emit_json(const std::string& bench_name,
+               const std::vector<experiment::LabeledResult>& results,
+               const BenchOptions& options) {
+  if (options.json_path.empty()) return;
+  experiment::write_results_json_file(options.json_path, bench_name, results);
+  std::cout << "(json: " << options.json_path << ")\n";
 }
 
 }  // namespace mra::bench

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "experiment/experiment.hpp"
+#include "experiment/json.hpp"
 #include "experiment/sweep.hpp"
 #include "experiment/table.hpp"
 
@@ -14,11 +15,15 @@ namespace mra::bench {
 /// Scale knobs common to every bench binary, settable from the command line:
 ///   --quick        shorter measurement window (CI-friendly)
 ///   --seed=S       base RNG seed
+///   --threads=T    sweep worker threads (0 = hardware concurrency)
 ///   --csv=PATH     also write the table as CSV
+///   --json=PATH    also write machine-readable results (BENCH_*.json)
 struct BenchOptions {
   bool quick = false;
   std::uint64_t seed = 1;
+  unsigned threads = 0;
   std::string csv_path;
+  std::string json_path;
 
   sim::SimDuration warmup() const {
     return quick ? sim::from_ms(500) : sim::from_ms(2000);
@@ -28,7 +33,10 @@ struct BenchOptions {
   }
 };
 
-BenchOptions parse_options(int argc, char** argv);
+/// `supports_json` declares whether the calling bench emits JSON: a --json
+/// request to a bench that cannot honor it fails fast here (exit 2) instead
+/// of silently dropping the artifact.
+BenchOptions parse_options(int argc, char** argv, bool supports_json = false);
 
 /// Builds the paper's standard experiment config: N=32, M=80, γ=0.6 ms.
 experiment::ExperimentConfig paper_config(algo::Algorithm algorithm, int phi,
@@ -38,5 +46,11 @@ experiment::ExperimentConfig paper_config(algo::Algorithm algorithm, int phi,
 /// Prints the table and optionally writes the CSV next to the binary.
 void emit(const experiment::Table& table, const BenchOptions& options,
           const std::string& default_csv_name);
+
+/// Writes the labeled results as JSON when --json=PATH was given (no-op
+/// otherwise). `bench_name` identifies the producing binary in the file.
+void emit_json(const std::string& bench_name,
+               const std::vector<experiment::LabeledResult>& results,
+               const BenchOptions& options);
 
 }  // namespace mra::bench

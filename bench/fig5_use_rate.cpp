@@ -25,14 +25,18 @@ const std::vector<algo::Algorithm> kSeries = {
 };
 
 void run_load(const char* label, double rho, const BenchOptions& opts,
-              const std::string& csv) {
+              const std::string& csv,
+              std::vector<experiment::LabeledResult>& all_results) {
   std::vector<ExperimentConfig> configs;
   for (int phi : kPhis) {
     for (algo::Algorithm alg : kSeries) {
       configs.push_back(paper_config(alg, phi, rho, opts));
     }
   }
-  const auto results = experiment::run_sweep(configs);
+  const auto results = experiment::run_sweep(configs, opts.threads);
+  for (const auto& r : results) {
+    all_results.push_back(experiment::LabeledResult{label, r});
+  }
 
   std::cout << "\n=== Figure 5 — resource use rate (%), " << label
             << " load (rho=" << rho << ", N=32, M=80) ===\n";
@@ -57,11 +61,13 @@ void run_load(const char* label, double rho, const BenchOptions& opts,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const BenchOptions opts = parse_options(argc, argv);
+  const BenchOptions opts = parse_options(argc, argv, /*supports_json=*/true);
   std::cout << "Reproduces paper Figure 5: impact of request size over "
                "resource use rate.\n";
-  run_load("medium", 5.0, opts, "fig5a_medium_load.csv");
-  run_load("high", 0.5, opts, "fig5b_high_load.csv");
+  std::vector<experiment::LabeledResult> all_results;
+  run_load("medium", 5.0, opts, "fig5a_medium_load.csv", all_results);
+  run_load("high", 0.5, opts, "fig5b_high_load.csv", all_results);
+  emit_json("fig5_use_rate", all_results, opts);
   std::cout << "\nPaper claims to check: LASS curves track the shared-memory "
                "shape;\nuse-rate gain over BL grows as phi shrinks (paper: "
                "0.4x-20x);\nloan helps most for medium request sizes at high "

@@ -19,12 +19,16 @@ const std::vector<algo::Algorithm> kSeries = {
 };
 
 void run_load(const char* label, double rho, const BenchOptions& opts,
-              const std::string& csv) {
+              const std::string& csv,
+              std::vector<experiment::LabeledResult>& all_results) {
   std::vector<experiment::ExperimentConfig> configs;
   for (algo::Algorithm alg : kSeries) {
     configs.push_back(paper_config(alg, /*phi=*/4, rho, opts));
   }
-  const auto results = experiment::run_sweep(configs);
+  const auto results = experiment::run_sweep(configs, opts.threads);
+  for (const auto& r : results) {
+    all_results.push_back(experiment::LabeledResult{label, r});
+  }
 
   std::cout << "\n=== Figure 6 — average waiting time, phi=4, " << label
             << " load (rho=" << rho << ") ===\n";
@@ -45,9 +49,11 @@ void run_load(const char* label, double rho, const BenchOptions& opts,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const BenchOptions opts = parse_options(argc, argv);
+  const BenchOptions opts = parse_options(argc, argv, /*supports_json=*/true);
   std::cout << "Reproduces paper Figure 6: average waiting time (phi=4).\n";
-  run_load("medium", 5.0, opts, "fig6a_medium_load.csv");
-  run_load("high", 0.5, opts, "fig6b_high_load.csv");
+  std::vector<experiment::LabeledResult> all_results;
+  run_load("medium", 5.0, opts, "fig6a_medium_load.csv", all_results);
+  run_load("high", 0.5, opts, "fig6b_high_load.csv", all_results);
+  emit_json("fig6_waiting_phi4", all_results, opts);
   return 0;
 }

@@ -32,7 +32,7 @@ void run_load(const char* label, double rho, const BenchOptions& opts,
     cfg.size_buckets = kBucketLabels.size();
     configs.push_back(cfg);
   }
-  const auto results = experiment::run_sweep(configs);
+  const auto results = experiment::run_sweep(configs, opts.threads);
 
   std::cout << "\n=== Figure 7 — waiting time by request size, phi=80, "
             << label << " load (rho=" << rho << ") ===\n";

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
         configs.push_back(cfg);
       }
     }
-    const auto results = experiment::run_sweep(configs);
+    const auto results = experiment::run_sweep(configs, opts.threads);
     std::cout << "\n--- vs system size N (phi=4, M=80) ---\n";
     std::vector<std::string> header = {"N"};
     for (algo::Algorithm a : kSeries) header.emplace_back(algo::to_string(a));
@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
         configs.push_back(paper_config(alg, phi, /*rho=*/5.0, opts));
       }
     }
-    const auto results = experiment::run_sweep(configs);
+    const auto results = experiment::run_sweep(configs, opts.threads);
     std::cout << "\n--- vs request size phi (N=32, M=80) ---\n";
     std::vector<std::string> header = {"phi"};
     for (algo::Algorithm a : kSeries) header.emplace_back(algo::to_string(a));

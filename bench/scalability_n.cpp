@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
       configs.push_back(cfg);
     }
   }
-  const auto results = experiment::run_sweep(configs);
+  const auto results = experiment::run_sweep(configs, opts.threads);
 
   Table use({"N", "BL use (%)", "no-loan use (%)", "loan use (%)",
              "shm use (%)"});

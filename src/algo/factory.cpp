@@ -27,6 +27,31 @@ std::vector<Algorithm> all_algorithms() {
           Algorithm::kCentralSharedMemory, Algorithm::kMaddi};
 }
 
+const char* cli_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kIncremental: return "incremental";
+    case Algorithm::kBouabdallahLaforest: return "bl";
+    case Algorithm::kLassWithoutLoan: return "lass";
+    case Algorithm::kLassWithLoan: return "lass-loan";
+    case Algorithm::kCentralSharedMemory: return "central";
+    case Algorithm::kMaddi: return "maddi";
+  }
+  return "?";
+}
+
+Algorithm algorithm_from_name(const std::string& name) {
+  for (Algorithm a : all_algorithms()) {
+    if (name == cli_name(a) || name == to_string(a)) return a;
+  }
+  std::string valid;
+  for (Algorithm a : all_algorithms()) {
+    if (!valid.empty()) valid += " | ";
+    valid += cli_name(a);
+  }
+  throw std::invalid_argument("unknown algorithm \"" + name +
+                              "\" (valid: " + valid + ")");
+}
+
 AllocationSystem::AllocationSystem(const SystemConfig& config) : cfg_(config) {
   if (config.num_sites <= 0 || config.num_resources <= 0) {
     throw std::invalid_argument(

@@ -28,6 +28,14 @@ enum class Algorithm {
 [[nodiscard]] const char* to_string(Algorithm a);
 [[nodiscard]] std::vector<Algorithm> all_algorithms();
 
+/// Short command-line name ("incremental", "bl", "lass", "lass-loan",
+/// "central", "maddi") — the inverse of algorithm_from_name.
+[[nodiscard]] const char* cli_name(Algorithm a);
+
+/// Parses a CLI algorithm name; accepts both cli_name() and to_string()
+/// spellings. Throws std::invalid_argument listing the valid names.
+[[nodiscard]] Algorithm algorithm_from_name(const std::string& name);
+
 struct SystemConfig {
   Algorithm algorithm = Algorithm::kLassWithLoan;
   int num_sites = 32;       ///< the paper's N

@@ -1,0 +1,34 @@
+// Tiny shared command-line helper for the bench and example binaries. Lives
+// in the library so every front end parses flags the same way (both the
+// "--name value" and "--name=value" spellings) instead of drifting copies.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace mra::cli {
+
+/// Returns true when argv[i] is the flag `name` in either spelling, storing
+/// its value in `out` and advancing `i` past a space-separated value.
+/// A flag given without a value prints an error and exits 2.
+inline bool flag_value(int argc, char** argv, int& i, const char* name,
+                       std::string& out) {
+  const std::string arg = argv[i];
+  const std::string prefix = std::string(name) + "=";
+  if (arg == name) {
+    if (i + 1 >= argc) {
+      std::cerr << name << " needs a value\n";
+      std::exit(2);
+    }
+    out = argv[++i];
+    return true;
+  }
+  if (arg.rfind(prefix, 0) == 0) {
+    out = arg.substr(prefix.size());
+    return true;
+  }
+  return false;
+}
+
+}  // namespace mra::cli

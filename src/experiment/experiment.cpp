@@ -5,6 +5,44 @@
 
 namespace mra::experiment {
 
+ExperimentResult summarize(algo::AllocationSystem& system,
+                           const metrics::Collector& col, bool keep_records) {
+  ExperimentResult result;
+  result.algorithm = algo::to_string(system.config().algorithm);
+
+  auto& sim = system.simulator();
+  result.use_rate = col.usage().use_rate(sim.now());
+  result.waiting_mean_ms = col.waiting().mean();
+  result.waiting_stddev_ms = col.waiting().stddev();
+  result.requests_completed = col.completed();
+  for (const auto& s : col.waiting_by_size()) {
+    result.waiting_by_size.push_back(
+        BucketStats{s.mean(), s.stddev(), s.count()});
+  }
+
+  result.messages = system.network().total_messages();
+  result.bytes = system.network().total_bytes();
+  result.messages_per_cs =
+      col.completed() == 0
+          ? 0.0
+          : static_cast<double>(result.messages) /
+                static_cast<double>(col.completed());
+  for (const auto& [kind, st] : system.network().stats_by_kind()) {
+    result.messages_by_kind[kind] = st.count;
+  }
+
+  for (int i = 0; i < system.num_sites(); ++i) {
+    if (const auto* lass =
+            dynamic_cast<const algo::lass::LassNode*>(&system.node(i))) {
+      result.loans_used += lass->loans_used();
+      result.loans_failed += lass->loans_failed();
+    }
+  }
+
+  if (keep_records) result.records = col.records();
+  return result;
+}
+
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   auto system = algo::AllocationSystem::create(config.system);
   system->start();
@@ -28,41 +66,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   const sim::SimTime end = config.warmup + config.measure;
   sim.run(end);
 
-  ExperimentResult result;
-  result.algorithm = algo::to_string(config.system.algorithm);
+  ExperimentResult result =
+      summarize(*system, runner.collector(), config.keep_records);
   result.phi = config.workload.phi;
   result.rho = config.workload.rho;
-
-  const auto& col = runner.collector();
-  result.use_rate = col.usage().use_rate(sim.now());
-  result.waiting_mean_ms = col.waiting().mean();
-  result.waiting_stddev_ms = col.waiting().stddev();
-  result.requests_completed = col.completed();
-  for (const auto& s : col.waiting_by_size()) {
-    result.waiting_by_size.push_back(
-        BucketStats{s.mean(), s.stddev(), s.count()});
-  }
-
-  result.messages = system->network().total_messages();
-  result.bytes = system->network().total_bytes();
-  result.messages_per_cs =
-      col.completed() == 0
-          ? 0.0
-          : static_cast<double>(result.messages) /
-                static_cast<double>(col.completed());
-  for (const auto& [kind, st] : system->network().stats_by_kind()) {
-    result.messages_by_kind[kind] = st.count;
-  }
-
-  for (int i = 0; i < system->num_sites(); ++i) {
-    if (const auto* lass =
-            dynamic_cast<const algo::lass::LassNode*>(&system->node(i))) {
-      result.loans_used += lass->loans_used();
-      result.loans_failed += lass->loans_failed();
-    }
-  }
-
-  if (config.keep_records) result.records = col.records();
   return result;
 }
 

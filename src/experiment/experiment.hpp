@@ -55,4 +55,12 @@ struct ExperimentResult {
 /// Throws sim::EventBudgetExceeded if the protocol livelocks (bug guard).
 [[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
 
+/// Extracts every metric field of an ExperimentResult from a finished run:
+/// algorithm name, use rate, waiting statistics, message counters and LASS
+/// loan counters. Shared by run_experiment and scenario::run_scenario;
+/// `phi`/`rho` stay at their defaults (the caller knows the workload).
+[[nodiscard]] ExperimentResult summarize(algo::AllocationSystem& system,
+                                         const metrics::Collector& collector,
+                                         bool keep_records);
+
 }  // namespace mra::experiment

@@ -1,0 +1,77 @@
+#include "experiment/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace mra::experiment {
+
+namespace {
+
+std::string num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+void write_one(std::ostream& os, const LabeledResult& lr) {
+  const ExperimentResult& r = lr.result;
+  os << "{\"label\":\"" << json_escape(lr.label) << "\""
+     << ",\"algorithm\":\"" << json_escape(r.algorithm) << "\""
+     << ",\"phi\":" << r.phi << ",\"rho\":" << num(r.rho)
+     << ",\"use_rate\":" << num(r.use_rate)
+     << ",\"waiting_mean_ms\":" << num(r.waiting_mean_ms)
+     << ",\"waiting_stddev_ms\":" << num(r.waiting_stddev_ms)
+     << ",\"requests_completed\":" << r.requests_completed
+     << ",\"messages\":" << r.messages << ",\"bytes\":" << r.bytes
+     << ",\"messages_per_cs\":" << num(r.messages_per_cs)
+     << ",\"loans_used\":" << r.loans_used
+     << ",\"loans_failed\":" << r.loans_failed << "}";
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_results_json(std::ostream& os, const std::string& tool,
+                        const std::vector<LabeledResult>& results) {
+  os << "{\"tool\":\"" << json_escape(tool) << "\",\"results\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\n  ";
+    write_one(os, results[i]);
+  }
+  os << "\n]}\n";
+}
+
+void write_results_json_file(const std::string& path, const std::string& tool,
+                             const std::vector<LabeledResult>& results) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open for writing: " + path);
+  write_results_json(f, tool, results);
+}
+
+}  // namespace mra::experiment

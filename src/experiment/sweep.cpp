@@ -7,14 +7,14 @@
 
 namespace mra::experiment {
 
-std::vector<ExperimentResult> run_sweep(
-    const std::vector<ExperimentConfig>& configs, unsigned threads) {
-  std::vector<ExperimentResult> results(configs.size());
-  if (configs.empty()) return results;
+std::vector<ExperimentResult> run_sweep(const std::vector<SweepJob>& jobs,
+                                        unsigned threads) {
+  std::vector<ExperimentResult> results(jobs.size());
+  if (jobs.empty()) return results;
 
   if (threads == 0) threads = std::thread::hardware_concurrency();
   if (threads == 0) threads = 4;
-  if (threads > configs.size()) threads = static_cast<unsigned>(configs.size());
+  if (threads > jobs.size()) threads = static_cast<unsigned>(jobs.size());
 
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
@@ -23,9 +23,9 @@ std::vector<ExperimentResult> run_sweep(
   auto worker = [&]() {
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= configs.size()) return;
+      if (i >= jobs.size()) return;
       try {
-        results[i] = run_experiment(configs[i]);
+        results[i] = jobs[i]();
       } catch (...) {
         std::scoped_lock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -41,6 +41,16 @@ std::vector<ExperimentResult> run_sweep(
 
   if (first_error) std::rethrow_exception(first_error);
   return results;
+}
+
+std::vector<ExperimentResult> run_sweep(
+    const std::vector<ExperimentConfig>& configs, unsigned threads) {
+  std::vector<SweepJob> jobs;
+  jobs.reserve(configs.size());
+  for (const auto& cfg : configs) {
+    jobs.emplace_back([&cfg]() { return run_experiment(cfg); });
+  }
+  return run_sweep(jobs, threads);
 }
 
 }  // namespace mra::experiment

@@ -6,15 +6,26 @@
 // the output order is deterministic regardless of scheduling.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "experiment/experiment.hpp"
 
 namespace mra::experiment {
 
-/// Runs all configs, using up to `threads` workers (0 = hardware
-/// concurrency). Exceptions from individual runs propagate after the pool
-/// drains.
+/// One unit of sweep work: any callable producing an ExperimentResult.
+/// Lets callers sweep things that are not plain ExperimentConfigs (the
+/// scenario runner sweeps ScenarioSpec × Algorithm jobs this way).
+using SweepJob = std::function<ExperimentResult()>;
+
+/// Runs all jobs, using up to `threads` workers (0 = hardware concurrency).
+/// Results land at their job's index, so the output order is deterministic
+/// regardless of scheduling. Exceptions from individual runs propagate after
+/// the pool drains.
+[[nodiscard]] std::vector<ExperimentResult> run_sweep(
+    const std::vector<SweepJob>& jobs, unsigned threads = 0);
+
+/// Convenience wrapper: one run_experiment job per config.
 [[nodiscard]] std::vector<ExperimentResult> run_sweep(
     const std::vector<ExperimentConfig>& configs, unsigned threads = 0);
 

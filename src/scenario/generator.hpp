@@ -1,0 +1,59 @@
+// The pluggable generator components behind a ScenarioSpec:
+//
+//   ResourcePicker  — strategy for "which x resources does this request
+//                     take": uniform (the paper), or weighted (Zipf,
+//                     hotspot) sampled without replacement;
+//   ArrivalProcess  — strategy for "when is the next request born":
+//                     closed-loop exponential (the paper), open-loop
+//                     Poisson, or ON/OFF bursty;
+//   effective_site_workload — per-site WorkloadConfig with the scenario's
+//                     heterogeneity applied (heavy sites get larger φ and
+//                     longer CS ranges).
+//
+// All components are deterministic given the Rng they are fed.
+#pragma once
+
+#include <memory>
+
+#include "core/resource_set.hpp"
+#include "scenario/spec.hpp"
+#include "sim/random.hpp"
+
+namespace mra::scenario {
+
+/// Draws `size` distinct resources from [0, M) according to a popularity
+/// distribution. Stateless between draws apart from the caller's RNG.
+class ResourcePicker {
+ public:
+  virtual ~ResourcePicker() = default;
+  [[nodiscard]] virtual ResourceSet draw(int size, sim::Rng& rng) = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+[[nodiscard]] std::unique_ptr<ResourcePicker> make_picker(
+    const PopularitySpec& spec, int num_resources);
+
+/// Produces inter-request delays. Closed-loop processes return the think
+/// time between a CS release and the next request; open-loop processes
+/// (open_loop() == true) return the gap to the next arrival, independent of
+/// service. May keep internal phase state (ON/OFF), advanced by `now`.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  [[nodiscard]] virtual bool open_loop() const { return false; }
+  [[nodiscard]] virtual sim::SimDuration next_delay(sim::SimTime now,
+                                                    sim::Rng& rng) = 0;
+};
+
+/// `site_cfg` supplies β (and ᾱ for the open-loop default rate).
+[[nodiscard]] std::unique_ptr<ArrivalProcess> make_arrival(
+    const ArrivalSpec& spec, const workload::WorkloadConfig& site_cfg);
+
+/// Number of heavy sites implied by the spec: round(heavy_fraction · N).
+[[nodiscard]] int num_heavy_sites(const ScenarioSpec& spec);
+
+/// The WorkloadConfig site `site` actually runs (heavy sites scaled).
+[[nodiscard]] workload::WorkloadConfig effective_site_workload(
+    const ScenarioSpec& spec, int site);
+
+}  // namespace mra::scenario

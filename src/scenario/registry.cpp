@@ -1,0 +1,124 @@
+#include "scenario/registry.hpp"
+
+#include <stdexcept>
+
+namespace mra::scenario {
+
+namespace {
+
+/// The paper's §5.1 baseline: N=32, M=80, γ=0.6 ms, uniform resources,
+/// closed-loop exponential think times.
+ScenarioSpec paper_base(int phi, double rho) {
+  ScenarioSpec s;
+  s.system.num_sites = 32;
+  s.system.num_resources = 80;
+  s.system.network_latency = sim::from_ms(0.6);
+  s.workload = workload::medium_load(phi, 80);
+  s.workload.rho = rho;
+  return s;
+}
+
+std::vector<ScenarioSpec> build_registry() {
+  std::vector<ScenarioSpec> all;
+
+  {
+    ScenarioSpec s = paper_base(/*phi=*/4, /*rho=*/5.0);
+    s.name = "paper-phi4";
+    s.summary = "the paper's Fig. 6 setup: phi=4, medium load (rho=5)";
+    all.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = paper_base(/*phi=*/80, /*rho=*/5.0);
+    s.name = "paper-phi80";
+    s.summary = "the paper's Fig. 7 setup: phi=80, medium load (rho=5)";
+    all.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = paper_base(/*phi=*/4, /*rho=*/0.5);
+    s.name = "high-load-phi4";
+    s.summary = "phi=4 under the paper's high load (rho=0.5)";
+    all.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = paper_base(/*phi=*/8, /*rho=*/2.0);
+    s.name = "zipf-hot";
+    s.summary = "Zipf resource popularity (s=1.2): few very hot resources";
+    s.popularity.kind = Popularity::kZipf;
+    s.popularity.zipf_exponent = 1.2;
+    all.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = paper_base(/*phi=*/4, /*rho=*/2.0);
+    s.name = "hotspot-k4";
+    s.summary = "4 hot resources carry 80% of all picks";
+    s.popularity.kind = Popularity::kHotspot;
+    s.popularity.hot_k = 4;
+    s.popularity.hot_mass = 0.8;
+    all.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = paper_base(/*phi=*/4, /*rho=*/5.0);
+    s.name = "bursty";
+    s.summary = "ON/OFF bursty arrivals: 10x think rate during ON phases";
+    s.arrival.kind = Arrival::kOnOffBursty;
+    s.arrival.on_mean = sim::from_ms(200);
+    s.arrival.off_mean = sim::from_ms(800);
+    s.arrival.burst_think_scale = 0.1;
+    all.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = paper_base(/*phi=*/4, /*rho=*/5.0);
+    s.name = "open-loop";
+    s.summary = "open-loop Poisson arrivals with per-site FIFO queues";
+    s.arrival.kind = Arrival::kOpenPoisson;
+    all.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = paper_base(/*phi=*/4, /*rho=*/5.0);
+    s.name = "heterogeneous";
+    s.summary = "25% heavy sites: 4x larger requests, 2x longer CS";
+    s.heterogeneity.heavy_fraction = 0.25;
+    s.heterogeneity.heavy_phi_scale = 4.0;
+    s.heterogeneity.heavy_cs_scale = 2.0;
+    all.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = paper_base(/*phi=*/4, /*rho=*/5.0);
+    s.name = "clouds-hierarchical";
+    s.summary = "the paper's §6 Clouds target: 4 clusters, 10 ms WAN links";
+    s.system.hierarchical_clusters = 4;
+    s.system.hierarchical_remote_latency = sim::from_ms(10.0);
+    all.push_back(std::move(s));
+  }
+
+  for (const ScenarioSpec& s : all) s.validate();
+  return all;
+}
+
+}  // namespace
+
+const std::vector<ScenarioSpec>& registry() {
+  static const std::vector<ScenarioSpec> all = build_registry();
+  return all;
+}
+
+std::vector<std::string> scenario_names() {
+  std::vector<std::string> names;
+  for (const ScenarioSpec& s : registry()) names.push_back(s.name);
+  return names;
+}
+
+const ScenarioSpec& find_scenario(const std::string& name) {
+  for (const ScenarioSpec& s : registry()) {
+    if (s.name == name) return s;
+  }
+  std::string valid;
+  for (const std::string& n : scenario_names()) {
+    if (!valid.empty()) valid += " | ";
+    valid += n;
+  }
+  throw std::invalid_argument("unknown scenario \"" + name +
+                              "\" (valid: " + valid + ")");
+}
+
+}  // namespace mra::scenario

@@ -1,0 +1,23 @@
+// The named-scenario registry: every workload the project can run by name,
+// documented in one place. `mra_scenarios --list` prints this table and the
+// README mirrors it; adding a scenario is one entry in registry.cpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace mra::scenario {
+
+/// All registered scenarios, each already validated. Stable order.
+[[nodiscard]] const std::vector<ScenarioSpec>& registry();
+
+/// Registered names, in registry order.
+[[nodiscard]] std::vector<std::string> scenario_names();
+
+/// Looks a scenario up by name; throws std::invalid_argument listing the
+/// valid names when absent.
+[[nodiscard]] const ScenarioSpec& find_scenario(const std::string& name);
+
+}  // namespace mra::scenario

@@ -1,0 +1,257 @@
+#include "scenario/runner.hpp"
+
+#include <cassert>
+#include <deque>
+#include <functional>
+
+namespace mra::scenario {
+
+ScenarioDriver::ScenarioDriver(AllocatorNode& node, sim::Simulator& simulator,
+                               const workload::WorkloadConfig& site_cfg,
+                               const PopularitySpec& popularity,
+                               const ArrivalSpec& arrival, sim::Rng rng,
+                               metrics::Collector& collector,
+                               RequestTrace* record)
+    : node_(node),
+      sim_(simulator),
+      gen_(site_cfg, rng.split()),
+      rng_(rng.split()),
+      picker_(make_picker(popularity, site_cfg.num_resources)),
+      arrival_(make_arrival(arrival, site_cfg)),
+      collector_(collector),
+      record_(record) {
+  node_.set_grant_callback([this](RequestId /*seq*/) { on_granted(); });
+}
+
+void ScenarioDriver::start() { schedule_next_birth(); }
+
+void ScenarioDriver::schedule_next_birth() {
+  sim_.schedule_in(arrival_->next_delay(sim_.now(), rng_),
+                   [this]() { make_request(); });
+}
+
+void ScenarioDriver::make_request() {
+  if (stopped_) return;
+  const int size = gen_.draw_size();
+  PendingRequest req;
+  req.born = sim_.now();
+  req.resources = picker_->draw(size, rng_);
+  req.cs = gen_.draw_cs_duration(size);
+  if (record_) {
+    record_->events.push_back(TraceEvent{req.born, node_.id(), req.cs,
+                                         req.resources.to_vector()});
+  }
+  pending_.push_back(std::move(req));
+  // Open loop: the next arrival is independent of service, so schedule it
+  // now. Closed loop: the next request is born only after this one's CS.
+  if (arrival_->open_loop()) schedule_next_birth();
+  try_dispatch();
+}
+
+void ScenarioDriver::try_dispatch() {
+  if (in_flight_ || pending_.empty()) return;
+  assert(node_.state() == ProcessState::kIdle);
+  PendingRequest req = std::move(pending_.front());
+  pending_.pop_front();
+  in_flight_ = true;
+  current_cs_ = req.cs;
+  // Waiting time is measured from birth: for queued open-loop arrivals it
+  // includes the queueing delay at the site.
+  collector_.on_issue(req.born, node_.id(), node_.current_request_id() + 1,
+                      req.resources);
+  node_.request(req.resources);
+}
+
+void ScenarioDriver::on_granted() {
+  collector_.on_grant(sim_.now(), node_.id(), node_.current_request_id(),
+                      node_.current_request());
+  // release() must not run inside the grant callback (protocols may still be
+  // mid-handler), so even a zero-length CS goes through the event queue.
+  sim_.schedule_in(current_cs_, [this]() { on_cs_done(); });
+}
+
+void ScenarioDriver::on_cs_done() {
+  const ResourceSet held = node_.current_request();
+  collector_.on_release(sim_.now(), node_.id(), node_.current_request_id(),
+                        held);
+  node_.release();
+  in_flight_ = false;
+  ++cycles_;
+  if (arrival_->open_loop()) {
+    try_dispatch();
+  } else if (!stopped_) {
+    schedule_next_birth();
+  }
+}
+
+ScenarioRunner::ScenarioRunner(algo::AllocationSystem& system,
+                               const ScenarioSpec& spec, std::uint64_t seed,
+                               std::size_t size_buckets, RequestTrace* record)
+    : collector_(system.num_resources(), size_buckets) {
+  collector_.set_max_size(static_cast<std::size_t>(spec.max_request_size()));
+  if (record) {
+    record->scenario = spec.name;
+    record->num_sites = system.num_sites();
+    record->num_resources = system.num_resources();
+    // Provenance: the user-facing seed (spec.system.seed), not the mixed
+    // internal stream seed — the header must let a reader reproduce the run.
+    record->seed = spec.system.seed;
+    record->network_latency = spec.system.network_latency;
+    record->hierarchical_clusters = spec.system.hierarchical_clusters;
+    // The WAN latency is meaningless on a flat topology (SystemConfig
+    // defaults it to 10 ms regardless), so only record it when it applies.
+    record->hierarchical_remote_latency =
+        spec.system.hierarchical_clusters > 1
+            ? spec.system.hierarchical_remote_latency
+            : 0;
+  }
+  sim::Rng master(seed);
+  for (int i = 0; i < system.num_sites(); ++i) {
+    drivers_.push_back(std::make_unique<ScenarioDriver>(
+        system.node(i), system.simulator(), effective_site_workload(spec, i),
+        spec.popularity, spec.arrival, master.split(), collector_, record));
+  }
+}
+
+void ScenarioRunner::start() {
+  for (auto& d : drivers_) d->start();
+}
+
+void ScenarioRunner::stop_issuing() {
+  for (auto& d : drivers_) d->stop();
+}
+
+namespace {
+
+experiment::ExperimentResult run_scenario_impl(const ScenarioSpec& spec,
+                                               algo::Algorithm algorithm,
+                                               RequestTrace* record) {
+  ScenarioSpec s = spec;
+  s.system.algorithm = algorithm;
+  s.validate();
+
+  auto system = algo::AllocationSystem::create(s.system);
+  system->start();
+
+  ScenarioRunner runner(*system, s, s.system.seed ^ 0x9E3779B97F4A7C15ULL,
+                        /*size_buckets=*/6, record);
+
+  auto& sim = system->simulator();
+  sim.set_event_budget(500'000'000ULL);
+
+  runner.start();
+  sim.run(s.warmup);
+  runner.collector().reset(sim.now());
+  system->network().reset_stats();
+  sim.run(s.warmup + s.measure);
+
+  experiment::ExperimentResult result =
+      experiment::summarize(*system, runner.collector(), false);
+  result.phi = s.workload.phi;
+  result.rho = s.workload.rho;
+  return result;
+}
+
+}  // namespace
+
+experiment::ExperimentResult run_scenario(const ScenarioSpec& spec,
+                                          algo::Algorithm algorithm) {
+  return run_scenario_impl(spec, algorithm, nullptr);
+}
+
+RequestTrace record_scenario(const ScenarioSpec& spec,
+                             algo::Algorithm algorithm) {
+  RequestTrace trace;
+  (void)run_scenario_impl(spec, algorithm, &trace);
+  return trace;
+}
+
+ReplayResult replay_trace(const RequestTrace& trace, algo::Algorithm algorithm,
+                          const ReplayOptions& options) {
+  trace.validate();
+
+  algo::SystemConfig sys;
+  sys.algorithm = algorithm;
+  sys.num_sites = trace.num_sites;
+  sys.num_resources = trace.num_resources;
+  sys.seed = options.seed;
+  // The trace header fixes the network the run was recorded under;
+  // options.network_latency > 0 deliberately overrides it.
+  sys.network_latency = options.network_latency > 0 ? options.network_latency
+                                                    : trace.network_latency;
+  sys.hierarchical_clusters = trace.hierarchical_clusters;
+  sys.hierarchical_remote_latency = trace.hierarchical_remote_latency;
+  sys.latency_jitter = options.latency_jitter;
+  auto system = algo::AllocationSystem::create(sys);
+  system->start();
+
+  auto& sim = system->simulator();
+  sim.set_event_budget(500'000'000ULL);
+
+  metrics::Collector collector(trace.num_resources, options.size_buckets);
+  collector.set_max_size(static_cast<std::size_t>(trace.max_request_size()));
+
+  struct SiteState {
+    std::deque<const TraceEvent*> pending;
+    bool in_flight = false;
+    sim::SimDuration cs = 0;
+  };
+  std::vector<SiteState> sites(static_cast<std::size_t>(trace.num_sites));
+  ResourceSet busy(trace.num_resources);  // safety checker
+  ReplayResult out;
+
+  std::function<void(SiteId)> dispatch = [&](SiteId s) {
+    auto& st = sites[static_cast<std::size_t>(s)];
+    if (st.in_flight || st.pending.empty()) return;
+    const TraceEvent* ev = st.pending.front();
+    st.pending.pop_front();
+    st.in_flight = true;
+    st.cs = ev->cs;
+    ResourceSet rs(trace.num_resources);
+    for (ResourceId r : ev->resources) rs.insert(r);
+    collector.on_issue(ev->at, s, system->node(s).current_request_id() + 1,
+                       rs);
+    system->node(s).request(rs);
+  };
+
+  for (SiteId s = 0; s < trace.num_sites; ++s) {
+    system->node(s).set_grant_callback([&, s](RequestId) {
+      auto& st = sites[static_cast<std::size_t>(s)];
+      const ResourceSet& rs = system->node(s).current_request();
+      if (rs.intersects(busy)) out.safety_ok = false;
+      busy |= rs;
+      collector.on_grant(sim.now(), s, system->node(s).current_request_id(),
+                         rs);
+      sim.schedule_in(st.cs, [&, s]() {
+        const ResourceSet held = system->node(s).current_request();
+        busy -= held;
+        collector.on_release(sim.now(), s,
+                             system->node(s).current_request_id(), held);
+        system->node(s).release();
+        sites[static_cast<std::size_t>(s)].in_flight = false;
+        dispatch(s);
+      });
+    });
+  }
+
+  for (const TraceEvent& ev : trace.events) {
+    sim.schedule_at(ev.at, [&, e = &ev]() {
+      sites[static_cast<std::size_t>(e->site)].pending.push_back(e);
+      dispatch(e->site);
+    });
+  }
+
+  sim.run();  // to quiescence: liveness means every request completes
+
+  out.completed_all = collector.completed() == trace.events.size();
+  for (const auto& st : sites) {
+    if (st.in_flight || !st.pending.empty()) out.completed_all = false;
+  }
+  out.metrics = experiment::summarize(*system, collector, false);
+  // phi stays 0: a replay has no configured max request size, and reusing
+  // the field for the trace's observed maximum would corrupt any consumer
+  // that groups bench/scenario JSON rows by phi.
+  return out;
+}
+
+}  // namespace mra::scenario

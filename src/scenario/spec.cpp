@@ -1,0 +1,99 @@
+#include "scenario/spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mra::scenario {
+
+const char* to_string(Popularity p) {
+  switch (p) {
+    case Popularity::kUniform: return "uniform";
+    case Popularity::kZipf: return "zipf";
+    case Popularity::kHotspot: return "hotspot";
+  }
+  return "?";
+}
+
+const char* to_string(Arrival a) {
+  switch (a) {
+    case Arrival::kClosedExponential: return "closed-exponential";
+    case Arrival::kOpenPoisson: return "open-poisson";
+    case Arrival::kOnOffBursty: return "on-off-bursty";
+  }
+  return "?";
+}
+
+void ScenarioSpec::validate() const {
+  workload.validate();
+  if (system.num_resources != workload.num_resources) {
+    throw std::invalid_argument(
+        "scenario.system.num_resources: must equal workload.num_resources (" +
+        std::to_string(system.num_resources) + " vs " +
+        std::to_string(workload.num_resources) + ")");
+  }
+  if (popularity.kind == Popularity::kZipf && popularity.zipf_exponent <= 0.0) {
+    throw std::invalid_argument(
+        "scenario.popularity.zipf_exponent: must be > 0, got " +
+        std::to_string(popularity.zipf_exponent));
+  }
+  if (popularity.kind == Popularity::kHotspot) {
+    if (popularity.hot_k < 1 || popularity.hot_k > workload.num_resources) {
+      throw std::invalid_argument(
+          "scenario.popularity.hot_k: must be in [1, num_resources=" +
+          std::to_string(workload.num_resources) + "], got " +
+          std::to_string(popularity.hot_k));
+    }
+    if (popularity.hot_mass <= 0.0 || popularity.hot_mass > 1.0) {
+      throw std::invalid_argument(
+          "scenario.popularity.hot_mass: must be in (0, 1], got " +
+          std::to_string(popularity.hot_mass));
+    }
+  }
+  if (arrival.kind == Arrival::kOpenPoisson &&
+      arrival.open_mean_interarrival < 0) {
+    throw std::invalid_argument(
+        "scenario.arrival.open_mean_interarrival: must be >= 0 (0 = derive)");
+  }
+  if (arrival.kind == Arrival::kOnOffBursty) {
+    if (arrival.on_mean <= 0 || arrival.off_mean <= 0) {
+      throw std::invalid_argument(
+          "scenario.arrival.on_mean/off_mean: must be > 0");
+    }
+    if (arrival.burst_think_scale <= 0.0) {
+      throw std::invalid_argument(
+          "scenario.arrival.burst_think_scale: must be > 0, got " +
+          std::to_string(arrival.burst_think_scale));
+    }
+  }
+  if (heterogeneity.heavy_fraction < 0.0 ||
+      heterogeneity.heavy_fraction > 1.0) {
+    throw std::invalid_argument(
+        "scenario.heterogeneity.heavy_fraction: must be in [0, 1], got " +
+        std::to_string(heterogeneity.heavy_fraction));
+  }
+  if (heterogeneity.heavy_phi_scale < 1.0 ||
+      heterogeneity.heavy_cs_scale < 1.0) {
+    throw std::invalid_argument(
+        "scenario.heterogeneity.heavy_*_scale: must be >= 1 (heavy sites "
+        "are at least as demanding as light ones)");
+  }
+  if (warmup < 0 || measure <= 0) {
+    throw std::invalid_argument(
+        "scenario.warmup/measure: need warmup >= 0 and measure > 0");
+  }
+}
+
+int ScenarioSpec::max_request_size() const {
+  int max_phi = workload.phi;
+  if (heterogeneity.heavy_fraction > 0.0) {
+    const int heavy_phi = std::min(
+        workload.num_resources,
+        static_cast<int>(std::lround(static_cast<double>(workload.phi) *
+                                     heterogeneity.heavy_phi_scale)));
+    max_phi = std::max(max_phi, heavy_phi);
+  }
+  return max_phi;
+}
+
+}  // namespace mra::scenario

@@ -1,0 +1,96 @@
+// ScenarioSpec: a complete, named description of one simulated workload
+// scenario — system topology, the paper's §5.1 base workload, plus the
+// pluggable generator components this subsystem adds on top of it:
+//
+//   * resource popularity  — which resources a request tends to pick
+//                            (uniform as in the paper, Zipf, hotspot-k);
+//   * arrival process      — when requests are born (closed-loop exponential
+//                            as in the paper, open-loop Poisson, ON/OFF
+//                            bursty);
+//   * site heterogeneity   — a fraction of "heavy" sites with larger φ and
+//                            longer critical sections.
+//
+// A ScenarioSpec plus a seed fully determines a run: the same spec yields
+// bit-identical metrics across runs (see tests/test_scenario.cpp).
+#pragma once
+
+#include <string>
+
+#include "algo/factory.hpp"
+#include "sim/time.hpp"
+#include "workload/workload.hpp"
+
+namespace mra::scenario {
+
+/// Which resources a request draws. The paper's model is kUniform.
+enum class Popularity {
+  kUniform,  ///< every resource equally likely (§5.1)
+  kZipf,     ///< P(resource r) ∝ 1/(r+1)^s — few very hot resources
+  kHotspot,  ///< k hot resources share `hot_mass` of the picks
+};
+
+[[nodiscard]] const char* to_string(Popularity p);
+
+struct PopularitySpec {
+  Popularity kind = Popularity::kUniform;
+  double zipf_exponent = 1.2;  ///< Zipf: skew s > 0 (larger = more skewed)
+  int hot_k = 4;               ///< hotspot: number of hot resources
+  double hot_mass = 0.8;       ///< hotspot: probability mass on hot set
+};
+
+/// When requests are born at a site. The paper's model is closed-loop:
+/// a site thinks Exp(β) after each CS, so load self-throttles. Open-loop
+/// arrivals keep coming while a request is in flight and queue at the site.
+enum class Arrival {
+  kClosedExponential,  ///< think Exp(β) between release and next request
+  kOpenPoisson,        ///< Poisson arrivals, FIFO queue per site
+  kOnOffBursty,        ///< closed loop gated by exponential ON/OFF phases
+};
+
+[[nodiscard]] const char* to_string(Arrival a);
+
+struct ArrivalSpec {
+  Arrival kind = Arrival::kClosedExponential;
+
+  /// Open-loop: mean inter-arrival time per site. 0 = derive from the
+  /// workload as β + ᾱ (the mean cycle length of the closed-loop model, so
+  /// open and closed loop offer comparable load).
+  sim::SimDuration open_mean_interarrival = 0;
+
+  /// ON/OFF: exponential phase durations, and the think-time scale during
+  /// ON (0.1 = requests arrive 10x faster than the base β while ON).
+  sim::SimDuration on_mean = sim::from_ms(200);
+  sim::SimDuration off_mean = sim::from_ms(800);
+  double burst_think_scale = 0.1;
+};
+
+/// The first round(heavy_fraction · N) sites are "heavy": their φ and CS
+/// durations are scaled. Deterministic assignment keeps runs reproducible.
+struct HeterogeneitySpec {
+  double heavy_fraction = 0.0;  ///< in [0, 1]; 0 disables
+  double heavy_phi_scale = 1.0;  ///< heavy φ = min(M, round(φ · scale))
+  double heavy_cs_scale = 1.0;   ///< heavy α range multiplied by this
+};
+
+struct ScenarioSpec {
+  std::string name;
+  std::string summary;  ///< one line, shown by `mra_scenarios --list`
+
+  algo::SystemConfig system;        ///< topology, latency, algorithm knobs
+  workload::WorkloadConfig workload;  ///< §5.1 base model
+  PopularitySpec popularity;
+  ArrivalSpec arrival;
+  HeterogeneitySpec heterogeneity;
+
+  sim::SimDuration warmup = sim::from_ms(2000);    ///< discarded
+  sim::SimDuration measure = sim::from_ms(10000);  ///< measured window
+
+  /// Validates every component; throws std::invalid_argument naming the
+  /// offending field.
+  void validate() const;
+
+  /// Largest request size any site can draw (accounts for heavy sites).
+  [[nodiscard]] int max_request_size() const;
+};
+
+}  // namespace mra::scenario

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace mra::workload {
@@ -16,16 +17,30 @@ const char* to_string(CsDurationPolicy p) {
 }
 
 void WorkloadConfig::validate() const {
-  if (num_resources <= 0) throw std::invalid_argument("workload: M must be > 0");
+  // Every message names the offending field and its value, so a bad sweep
+  // config is diagnosable from the exception alone.
+  if (num_resources <= 0) {
+    throw std::invalid_argument("workload.num_resources: must be > 0, got " +
+                                std::to_string(num_resources));
+  }
   if (phi < 1 || phi > num_resources) {
-    throw std::invalid_argument("workload: phi must be in [1, M]");
+    throw std::invalid_argument(
+        "workload.phi: must be in [1, num_resources=" +
+        std::to_string(num_resources) + "], got " + std::to_string(phi));
   }
   if (alpha_min <= 0 || alpha_max < alpha_min) {
-    throw std::invalid_argument("workload: need 0 < alpha_min <= alpha_max");
+    throw std::invalid_argument(
+        "workload.alpha_min/alpha_max: need 0 < alpha_min <= alpha_max, got "
+        "alpha_min=" +
+        std::to_string(alpha_min) + " alpha_max=" + std::to_string(alpha_max));
   }
-  if (rho <= 0.0) throw std::invalid_argument("workload: rho must be > 0");
+  if (rho <= 0.0) {
+    throw std::invalid_argument("workload.rho: must be > 0, got " +
+                                std::to_string(rho));
+  }
   if (cs_jitter < 0.0 || cs_jitter >= 1.0) {
-    throw std::invalid_argument("workload: cs_jitter must be in [0, 1)");
+    throw std::invalid_argument("workload.cs_jitter: must be in [0, 1), got " +
+                                std::to_string(cs_jitter));
   }
 }
 
@@ -77,20 +92,25 @@ int RequestGenerator::draw_size() {
   return static_cast<int>(rng_.uniform_int(1, cfg_.phi));
 }
 
-ResourceSet RequestGenerator::draw_resources(int size) {
+ResourceSet draw_uniform_resources(int size, int num_resources,
+                                   sim::Rng& rng) {
   // Partial Fisher-Yates over the resource universe: O(size) draws.
-  ResourceSet out(cfg_.num_resources);
-  std::vector<ResourceId> pool(static_cast<std::size_t>(cfg_.num_resources));
-  for (ResourceId r = 0; r < cfg_.num_resources; ++r) {
+  ResourceSet out(num_resources);
+  std::vector<ResourceId> pool(static_cast<std::size_t>(num_resources));
+  for (ResourceId r = 0; r < num_resources; ++r) {
     pool[static_cast<std::size_t>(r)] = r;
   }
   for (int i = 0; i < size; ++i) {
-    const auto j = static_cast<std::size_t>(
-        rng_.uniform_int(i, cfg_.num_resources - 1));
+    const auto j =
+        static_cast<std::size_t>(rng.uniform_int(i, num_resources - 1));
     std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
     out.insert(pool[static_cast<std::size_t>(i)]);
   }
   return out;
+}
+
+ResourceSet RequestGenerator::draw_resources(int size) {
+  return draw_uniform_resources(size, cfg_.num_resources, rng_);
 }
 
 sim::SimDuration RequestGenerator::draw_cs_duration(int size) {

@@ -53,6 +53,12 @@ struct WorkloadConfig {
 [[nodiscard]] WorkloadConfig medium_load(int phi, int num_resources = 80);
 [[nodiscard]] WorkloadConfig high_load(int phi, int num_resources = 80);
 
+/// `size` distinct resources uniform over [0, num_resources), via partial
+/// Fisher-Yates (O(size) RNG draws). The single implementation behind both
+/// RequestGenerator and the scenario subsystem's uniform picker.
+[[nodiscard]] ResourceSet draw_uniform_resources(int size, int num_resources,
+                                                 sim::Rng& rng);
+
 /// Per-site request generator; deterministic given its RNG.
 class RequestGenerator {
  public:

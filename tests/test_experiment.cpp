@@ -72,7 +72,8 @@ TEST(Sweep, ParallelMatchesSerial) {
 }
 
 TEST(Sweep, EmptyInputIsFine) {
-  EXPECT_TRUE(run_sweep({}).empty());
+  EXPECT_TRUE(run_sweep(std::vector<ExperimentConfig>{}).empty());
+  EXPECT_TRUE(run_sweep(std::vector<SweepJob>{}).empty());
 }
 
 TEST(TableTest, PrintsAlignedAndRejectsBadRows) {

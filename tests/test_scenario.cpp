@@ -1,0 +1,294 @@
+// Scenario subsystem tests: generator determinism and distribution shape,
+// spec validation, registry completeness, bit-identical reruns, and trace
+// record/replay round trips (including safety/liveness across every
+// algorithm in the factory).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "scenario/generator.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/trace.hpp"
+
+namespace mra::scenario {
+namespace {
+
+/// Shrinks a spec so one run takes milliseconds, preserving its character.
+ScenarioSpec shrink(ScenarioSpec s) {
+  s.system.num_sites = 8;
+  s.system.num_resources = 16;
+  s.workload.num_resources = 16;
+  s.workload.phi = std::min(s.workload.phi, 4);
+  s.popularity.hot_k = std::min(s.popularity.hot_k, 4);
+  s.warmup = sim::from_ms(100);
+  s.measure = sim::from_ms(600);
+  return s;
+}
+
+// --- pickers ---------------------------------------------------------------
+
+TEST(Picker, EveryKindIsDeterministicAndDrawsDistinctSets) {
+  for (Popularity kind :
+       {Popularity::kUniform, Popularity::kZipf, Popularity::kHotspot}) {
+    PopularitySpec spec;
+    spec.kind = kind;
+    auto a = make_picker(spec, 20);
+    auto b = make_picker(spec, 20);
+    sim::Rng ra(42), rb(42);
+    for (int i = 0; i < 200; ++i) {
+      const int size = 1 + i % 8;
+      const ResourceSet sa = a->draw(size, ra);
+      const ResourceSet sb = b->draw(size, rb);
+      ASSERT_EQ(sa.to_vector(), sb.to_vector()) << to_string(kind);
+      ASSERT_EQ(sa.size(), static_cast<std::size_t>(size)) << to_string(kind);
+      sa.for_each([](ResourceId r) {
+        ASSERT_GE(r, 0);
+        ASSERT_LT(r, 20);
+      });
+    }
+  }
+}
+
+TEST(Picker, ZipfRankOneFrequencyDominates) {
+  PopularitySpec spec;
+  spec.kind = Popularity::kZipf;
+  spec.zipf_exponent = 1.2;
+  auto picker = make_picker(spec, 20);
+  sim::Rng rng(7);
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < 6000; ++i) {
+    picker->draw(1, rng).for_each(
+        [&](ResourceId r) { ++counts[static_cast<std::size_t>(r)]; });
+  }
+  // Rank 1 beats rank 2 (expected ratio 2^1.2 ≈ 2.3) and crushes the tail.
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[0], 3 * counts[10]);
+  for (int c : counts) EXPECT_GT(c, 0);  // but nothing starves
+}
+
+TEST(Picker, HotspotConcentratesConfiguredMass) {
+  PopularitySpec spec;
+  spec.kind = Popularity::kHotspot;
+  spec.hot_k = 4;
+  spec.hot_mass = 0.8;
+  auto picker = make_picker(spec, 20);
+  sim::Rng rng(11);
+  int hot = 0;
+  const int n = 8000;
+  for (int i = 0; i < n; ++i) {
+    picker->draw(1, rng).for_each([&](ResourceId r) {
+      if (r < 4) ++hot;
+    });
+  }
+  const double hot_share = static_cast<double>(hot) / n;
+  EXPECT_GE(hot_share, 0.75);  // configured mass 0.8 ± sampling noise
+  EXPECT_LE(hot_share, 0.85);
+}
+
+// --- arrival processes -----------------------------------------------------
+
+TEST(Arrival, AllKindsDeterministicAndPositive) {
+  workload::WorkloadConfig wl;
+  for (Arrival kind : {Arrival::kClosedExponential, Arrival::kOpenPoisson,
+                       Arrival::kOnOffBursty}) {
+    ArrivalSpec spec;
+    spec.kind = kind;
+    auto a = make_arrival(spec, wl);
+    auto b = make_arrival(spec, wl);
+    sim::Rng ra(5), rb(5);
+    sim::SimTime now = 0;
+    for (int i = 0; i < 300; ++i) {
+      const auto da = a->next_delay(now, ra);
+      const auto db = b->next_delay(now, rb);
+      ASSERT_EQ(da, db) << to_string(kind);
+      ASSERT_GT(da, 0) << to_string(kind);
+      now += da;
+    }
+  }
+}
+
+TEST(Arrival, OnlyOpenPoissonIsOpenLoop) {
+  workload::WorkloadConfig wl;
+  ArrivalSpec spec;
+  EXPECT_FALSE(make_arrival(spec, wl)->open_loop());
+  spec.kind = Arrival::kOpenPoisson;
+  EXPECT_TRUE(make_arrival(spec, wl)->open_loop());
+  spec.kind = Arrival::kOnOffBursty;
+  EXPECT_FALSE(make_arrival(spec, wl)->open_loop());
+}
+
+// --- heterogeneity ---------------------------------------------------------
+
+TEST(Heterogeneity, HeavySitesGetScaledWorkload) {
+  ScenarioSpec s = find_scenario("heterogeneous");
+  ASSERT_EQ(num_heavy_sites(s), 8);  // 25% of 32
+  const auto heavy = effective_site_workload(s, 0);
+  const auto light = effective_site_workload(s, 8);
+  EXPECT_EQ(light.phi, s.workload.phi);
+  EXPECT_EQ(heavy.phi, 16);  // 4 * 4, under M = 80
+  EXPECT_EQ(heavy.alpha_max, 2 * light.alpha_max);
+  EXPECT_NO_THROW(heavy.validate());
+}
+
+TEST(Heterogeneity, HeavyPhiIsCappedAtM) {
+  ScenarioSpec s = find_scenario("heterogeneous");
+  s.heterogeneity.heavy_phi_scale = 1000.0;
+  EXPECT_EQ(effective_site_workload(s, 0).phi, s.workload.num_resources);
+}
+
+// --- spec validation -------------------------------------------------------
+
+TEST(Spec, ValidationNamesTheOffendingField) {
+  auto message_of = [](const ScenarioSpec& s) -> std::string {
+    try {
+      s.validate();
+    } catch (const std::invalid_argument& e) {
+      return e.what();
+    }
+    return "";
+  };
+
+  ScenarioSpec s = find_scenario("zipf-hot");
+  s.popularity.zipf_exponent = -1.0;
+  EXPECT_NE(message_of(s).find("zipf_exponent"), std::string::npos);
+
+  s = find_scenario("hotspot-k4");
+  s.popularity.hot_k = 0;
+  EXPECT_NE(message_of(s).find("hot_k"), std::string::npos);
+  s = find_scenario("hotspot-k4");
+  s.popularity.hot_mass = 1.5;
+  EXPECT_NE(message_of(s).find("hot_mass"), std::string::npos);
+
+  s = find_scenario("heterogeneous");
+  s.heterogeneity.heavy_fraction = 2.0;
+  EXPECT_NE(message_of(s).find("heavy_fraction"), std::string::npos);
+
+  s = find_scenario("bursty");
+  s.arrival.burst_think_scale = 0.0;
+  EXPECT_NE(message_of(s).find("burst_think_scale"), std::string::npos);
+
+  s = find_scenario("paper-phi4");
+  s.system.num_resources = 40;  // now disagrees with workload
+  EXPECT_NE(message_of(s).find("num_resources"), std::string::npos);
+}
+
+// --- registry --------------------------------------------------------------
+
+TEST(Registry, HasAtLeastSixDocumentedValidScenarios) {
+  const auto& all = registry();
+  EXPECT_GE(all.size(), 6u);
+  std::map<std::string, int> seen;
+  for (const ScenarioSpec& s : all) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_FALSE(s.summary.empty()) << s.name;
+    EXPECT_NO_THROW(s.validate()) << s.name;
+    ++seen[s.name];
+  }
+  for (const auto& [name, count] : seen) EXPECT_EQ(count, 1) << name;
+  for (const char* required :
+       {"paper-phi4", "paper-phi80", "zipf-hot", "bursty", "heterogeneous",
+        "clouds-hierarchical"}) {
+    EXPECT_NO_THROW((void)find_scenario(required)) << required;
+  }
+  EXPECT_THROW((void)find_scenario("no-such-scenario"),
+               std::invalid_argument);
+}
+
+// --- end-to-end determinism ------------------------------------------------
+
+TEST(RunScenario, BitIdenticalMetricsAcrossRunsForEveryScenario) {
+  for (const ScenarioSpec& registered : registry()) {
+    const ScenarioSpec spec = shrink(registered);
+    const auto a = run_scenario(spec, algo::Algorithm::kLassWithLoan);
+    const auto b = run_scenario(spec, algo::Algorithm::kLassWithLoan);
+    EXPECT_EQ(a.use_rate, b.use_rate) << spec.name;  // bitwise
+    EXPECT_EQ(a.waiting_mean_ms, b.waiting_mean_ms) << spec.name;
+    EXPECT_EQ(a.requests_completed, b.requests_completed) << spec.name;
+    EXPECT_EQ(a.messages, b.messages) << spec.name;
+    EXPECT_EQ(a.bytes, b.bytes) << spec.name;
+    EXPECT_GT(a.requests_completed, 0u) << spec.name;
+  }
+}
+
+TEST(RunScenario, OpenLoopCompletesQueuedArrivals) {
+  const ScenarioSpec spec = shrink(find_scenario("open-loop"));
+  const auto r = run_scenario(spec, algo::Algorithm::kLassWithLoan);
+  EXPECT_GT(r.requests_completed, 0u);
+  EXPECT_GT(r.use_rate, 0.0);
+}
+
+// --- trace record / replay -------------------------------------------------
+
+TEST(TraceFormat, RoundTripsThroughStream) {
+  // clouds-hierarchical also exercises the optional topology header keys.
+  for (const char* name : {"hotspot-k4", "clouds-hierarchical"}) {
+    const ScenarioSpec spec = shrink(find_scenario(name));
+    const RequestTrace trace =
+        record_scenario(spec, algo::Algorithm::kLassWithLoan);
+    ASSERT_FALSE(trace.events.empty()) << name;
+
+    std::stringstream ss;
+    write_trace(ss, trace);
+    const RequestTrace back = read_trace(ss);
+
+    EXPECT_EQ(back.scenario, trace.scenario);
+    EXPECT_EQ(back.num_sites, trace.num_sites);
+    EXPECT_EQ(back.num_resources, trace.num_resources);
+    EXPECT_EQ(back.seed, trace.seed);
+    EXPECT_EQ(back.network_latency, trace.network_latency);
+    EXPECT_EQ(back.hierarchical_clusters, trace.hierarchical_clusters);
+    EXPECT_EQ(back.hierarchical_remote_latency,
+              trace.hierarchical_remote_latency);
+    ASSERT_EQ(back.events.size(), trace.events.size()) << name;
+    for (std::size_t i = 0; i < trace.events.size(); ++i) {
+      EXPECT_EQ(back.events[i], trace.events[i]) << name << " event " << i;
+    }
+  }
+}
+
+TEST(TraceFormat, RejectsMalformedInput) {
+  std::stringstream no_magic("sites 4\nresources 8\nseed 1\n");
+  EXPECT_THROW((void)read_trace(no_magic), std::runtime_error);
+
+  std::stringstream bad_key("# mra-trace v1\nbogus 12\n");
+  EXPECT_THROW((void)read_trace(bad_key), std::runtime_error);
+
+  std::stringstream bad_site(
+      "# mra-trace v1\nsites 4\nresources 8\nseed 1\n100 9 50 0,1\n");
+  EXPECT_THROW((void)read_trace(bad_site), std::invalid_argument);
+
+  std::stringstream bad_resource(
+      "# mra-trace v1\nsites 4\nresources 8\nseed 1\n100 0 50 0,99\n");
+  EXPECT_THROW((void)read_trace(bad_resource), std::invalid_argument);
+}
+
+TEST(Replay, EveryFactoryAlgorithmIsSafeAndLive) {
+  const ScenarioSpec spec = shrink(find_scenario("zipf-hot"));
+  const RequestTrace trace =
+      record_scenario(spec, algo::Algorithm::kLassWithLoan);
+  ASSERT_FALSE(trace.events.empty());
+
+  for (algo::Algorithm alg : algo::all_algorithms()) {
+    const ReplayResult r = replay_trace(trace, alg);
+    EXPECT_TRUE(r.safety_ok) << algo::to_string(alg);
+    EXPECT_TRUE(r.completed_all) << algo::to_string(alg);
+    EXPECT_EQ(r.metrics.requests_completed, trace.events.size())
+        << algo::to_string(alg);
+  }
+}
+
+TEST(Replay, DeterministicMetrics) {
+  const ScenarioSpec spec = shrink(find_scenario("bursty"));
+  const RequestTrace trace =
+      record_scenario(spec, algo::Algorithm::kLassWithoutLoan);
+  const ReplayResult a = replay_trace(trace, algo::Algorithm::kLassWithLoan);
+  const ReplayResult b = replay_trace(trace, algo::Algorithm::kLassWithLoan);
+  EXPECT_EQ(a.metrics.waiting_mean_ms, b.metrics.waiting_mean_ms);
+  EXPECT_EQ(a.metrics.messages, b.metrics.messages);
+  EXPECT_EQ(a.metrics.use_rate, b.metrics.use_rate);
+}
+
+}  // namespace
+}  // namespace mra::scenario

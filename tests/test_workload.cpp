@@ -6,6 +6,17 @@
 namespace mra::workload {
 namespace {
 
+/// Returns the what() of the std::invalid_argument validate() throws, or ""
+/// when it does not throw.
+std::string rejection_message(const WorkloadConfig& cfg) {
+  try {
+    cfg.validate();
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+
 TEST(WorkloadConfig, ValidationRejectsBadRanges) {
   WorkloadConfig cfg;
   cfg.num_resources = 0;
@@ -27,6 +38,37 @@ TEST(WorkloadConfig, ValidationRejectsBadRanges) {
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
   cfg = {};
   EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(WorkloadConfig, RejectionMessagesNameTheOffendingField) {
+  // Each rejection path must name the field (and value) that tripped it,
+  // so a bad sweep config is diagnosable from the exception alone.
+  WorkloadConfig cfg;
+  cfg.num_resources = -3;
+  EXPECT_NE(rejection_message(cfg).find("num_resources"), std::string::npos);
+  EXPECT_NE(rejection_message(cfg).find("-3"), std::string::npos);
+
+  cfg = {};
+  cfg.phi = 81;  // > num_resources = 80
+  EXPECT_NE(rejection_message(cfg).find("phi"), std::string::npos);
+  EXPECT_NE(rejection_message(cfg).find("81"), std::string::npos);
+  cfg.phi = 0;
+  EXPECT_NE(rejection_message(cfg).find("phi"), std::string::npos);
+
+  cfg = {};
+  cfg.alpha_max = cfg.alpha_min - 1;
+  EXPECT_NE(rejection_message(cfg).find("alpha"), std::string::npos);
+
+  cfg = {};
+  cfg.rho = -0.5;
+  EXPECT_NE(rejection_message(cfg).find("rho"), std::string::npos);
+
+  cfg = {};
+  cfg.cs_jitter = 1.0;
+  EXPECT_NE(rejection_message(cfg).find("cs_jitter"), std::string::npos);
+
+  cfg = {};
+  EXPECT_EQ(rejection_message(cfg), "");
 }
 
 TEST(WorkloadConfig, BetaFollowsRho) {
