@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files and fail on performance regressions.
+
+This is the contract the CI perf gate enforces: the new results of a PR are
+compared against a baseline (the bench-json artifact of the previous main
+run, or the seed under bench/baselines/), and the gate fails when a rate
+metric regresses beyond the threshold.
+
+Results are matched by "label" plus the discriminator fields present in
+experiment rows (algorithm, phi, rho), so fig5/fig6 files — whose many rows
+share a few labels — compare row for row. Metric direction is inferred
+from the field name:
+
+  higher is better   *_per_sec, use_rate
+  lower is better    waiting_mean_ms, messages_per_cs
+  informational      wall_ms, *_per_sec_wall (too short-lived for a stable
+                     rate), stddevs, counters (never gate)
+
+Deterministic count fields (events, messages, requests_completed, loans_*)
+are bit-identical across machines for the same code, so --strict-counts
+turns any drift into a failure — useful when a change must not alter
+behaviour, wrong when the workload itself legitimately changed (refresh the
+baseline instead; see README "Performance tracking").
+
+--rates-advisory demotes the machine-specific *_per_sec rates to printed
+advisories while machine-independent metrics (use_rate, waiting_mean_ms)
+keep gating — the right mode when baseline and new results come from
+different hardware, e.g. the committed bench/baselines/ seeds vs a CI
+runner.
+
+Exit codes: 0 ok, 1 regression (or count drift under --strict-counts),
+2 usage/input error.
+
+Usage:
+  scripts/bench_compare.py baseline.json new.json --threshold 15%
+  scripts/bench_compare.py a.json b.json --strict-counts --threshold 10
+  scripts/bench_compare.py seed.json new.json --rates-advisory --strict-counts
+"""
+
+import argparse
+import json
+import sys
+
+HIGHER_BETTER_SUFFIXES = ("_per_sec",)
+HIGHER_BETTER_FIELDS = {"use_rate"}
+INFORMATIONAL_SUFFIXES = ("_per_sec_wall",)
+LOWER_BETTER_FIELDS = {"waiting_mean_ms", "messages_per_cs"}
+COUNT_FIELDS = {
+    "events",
+    "messages",
+    "requests_completed",
+    "bytes",
+    "loans_used",
+    "loans_failed",
+}
+
+
+def direction(field):
+    """Returns 'higher', 'lower', or None (not gated)."""
+    if field.endswith(INFORMATIONAL_SUFFIXES):
+        return None
+    if field.endswith(HIGHER_BETTER_SUFFIXES) or field in HIGHER_BETTER_FIELDS:
+        return "higher"
+    if field in LOWER_BETTER_FIELDS:
+        return "lower"
+    return None
+
+
+def parse_threshold(text):
+    value = text.strip().rstrip("%")
+    try:
+        pct = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad threshold: {text!r}")
+    if pct < 0:
+        raise argparse.ArgumentTypeError("threshold must be >= 0")
+    return pct / 100.0
+
+
+DISCRIMINATOR_FIELDS = ("algorithm", "phi", "rho")
+
+RATE_SUFFIX = "_per_sec"
+
+
+def row_key(entry):
+    """Identity of one result row: label + whatever discriminators exist."""
+    parts = [str(entry.get("label"))]
+    for field in DISCRIMINATOR_FIELDS:
+        if field in entry:
+            parts.append(f"{field}={entry[field]}")
+    return " ".join(parts)
+
+
+def load_results(path):
+    def input_error(message):
+        # Exit 2, not 1: an unreadable input must stay distinguishable from
+        # a genuine perf regression for anything keying off the exit code.
+        print(f"bench_compare: {message}", file=sys.stderr)
+        sys.exit(2)
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        input_error(f"cannot read {path}: {err}")
+    results = doc.get("results")
+    if not isinstance(results, list):
+        input_error(f"{path} has no 'results' array")
+    by_key = {}
+    for entry in results:
+        if not entry.get("label"):
+            input_error(f"{path} has a result without 'label'")
+        key = row_key(entry)
+        if key in by_key:
+            input_error(f"{path} has duplicate result rows for '{key}'")
+        by_key[key] = entry
+    return doc.get("tool", "?"), by_key
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="new BENCH_*.json to judge")
+    parser.add_argument(
+        "--threshold",
+        type=parse_threshold,
+        default=parse_threshold("15%"),
+        help="allowed relative regression on rate metrics (default 15%%)",
+    )
+    parser.add_argument(
+        "--strict-counts",
+        action="store_true",
+        help="fail when deterministic count fields differ at all",
+    )
+    parser.add_argument(
+        "--rates-advisory",
+        action="store_true",
+        help="print *_per_sec regressions without failing (cross-machine "
+        "comparisons); machine-independent metrics still gate",
+    )
+    args = parser.parse_args()
+
+    base_tool, base = load_results(args.baseline)
+    new_tool, new = load_results(args.new)
+    if base_tool != new_tool:
+        print(
+            f"note: comparing different tools: {base_tool!r} vs {new_tool!r}"
+        )
+
+    regressions = []
+    drifts = []
+    compared = 0
+    for label, base_row in sorted(base.items()):
+        new_row = new.get(label)
+        if new_row is None:
+            # A removed/renamed workload is a baseline-refresh matter, not a
+            # perf regression; only --strict-counts treats it as failure.
+            print(f"  [gone]  {label}: missing from new results")
+            if args.strict_counts:
+                drifts.append(label)
+            continue
+        for field, base_val in base_row.items():
+            if not isinstance(base_val, (int, float)) or isinstance(
+                base_val, bool
+            ):
+                continue
+            new_val = new_row.get(field)
+            if not isinstance(new_val, (int, float)):
+                continue
+            if args.strict_counts and field in COUNT_FIELDS:
+                if base_val != new_val:
+                    print(
+                        f"  [drift] {label}.{field}: {base_val} -> {new_val}"
+                    )
+                    drifts.append(f"{label}.{field}")
+                continue
+            sense = direction(field)
+            if sense is None or base_val == 0:
+                continue
+            compared += 1
+            if sense == "higher":
+                change = (new_val - base_val) / base_val
+            else:
+                change = (base_val - new_val) / base_val
+            advisory = args.rates_advisory and field.endswith(RATE_SUFFIX)
+            marker = "ok"
+            if change < -args.threshold:
+                if advisory:
+                    marker = "advisory"
+                else:
+                    marker = "REGRESSION"
+                    regressions.append(f"{label}.{field}")
+            print(
+                f"  [{marker:>10}] {label}.{field}: "
+                f"{base_val:.6g} -> {new_val:.6g} ({change:+.1%})"
+            )
+
+    if compared == 0 and not args.strict_counts:
+        print("bench_compare: no comparable rate metrics found",
+              file=sys.stderr)
+        sys.exit(2)
+
+    if regressions or drifts:
+        what = []
+        if regressions:
+            what.append(
+                f"{len(regressions)} regression(s) beyond "
+                f"{args.threshold:.0%} threshold"
+            )
+        if drifts:
+            what.append(f"{len(drifts)} deterministic-count drift(s)")
+        print(f"FAIL: {', '.join(what)}")
+        sys.exit(1)
+    print(f"OK: {compared} rate metric(s) within {args.threshold:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+// Chunked arena + size-class free-list pool: the allocation substrate for
+// hot-path objects that are born and die millions of times per simulation
+// (messages, most prominently — see net/message_pool.hpp).
+//
+// An Arena hands out bump-allocated blocks from geometrically growing
+// chunks and frees everything at once on destruction. FreeListPool layers
+// size-class free lists on top: deallocate() pushes a block onto its class
+// list, allocate() pops it back in LIFO order, so a steady-state workload
+// recycles the same few cache-warm blocks and never touches the system
+// allocator after warm-up. Neither type is thread-safe — callers own one
+// instance per thread (simulations are single-threaded; the sweep pool runs
+// one simulation per worker).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace mra::core {
+
+/// Bump allocator over malloc'd chunks. Blocks are aligned to
+/// alignof(std::max_align_t) and live until the arena dies.
+class Arena {
+ public:
+  explicit Arena(std::size_t first_chunk_bytes = 16 * 1024)
+      : next_chunk_bytes_(first_chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* allocate(std::size_t bytes) {
+    bytes = align_up(bytes);
+    if (bytes > remaining_) grow(bytes);
+    void* p = cursor_;
+    cursor_ += bytes;
+    remaining_ -= bytes;
+    bytes_allocated_ += bytes;
+    return p;
+  }
+
+  /// Total bytes handed out (aligned); monitoring/tests only.
+  [[nodiscard]] std::size_t bytes_allocated() const {
+    return bytes_allocated_;
+  }
+
+  /// Total bytes reserved from the system allocator.
+  [[nodiscard]] std::size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  static constexpr std::size_t kAlign = alignof(std::max_align_t);
+  static constexpr std::size_t kMaxChunkBytes = 4 * 1024 * 1024;
+
+  static std::size_t align_up(std::size_t n) {
+    return (n + kAlign - 1) & ~(kAlign - 1);
+  }
+
+  void grow(std::size_t min_bytes) {
+    std::size_t chunk_bytes = next_chunk_bytes_;
+    while (chunk_bytes < min_bytes) chunk_bytes *= 2;
+    chunks_.emplace_back(new unsigned char[chunk_bytes]);
+    cursor_ = chunks_.back().get();
+    remaining_ = chunk_bytes;
+    bytes_reserved_ += chunk_bytes;
+    if (next_chunk_bytes_ < kMaxChunkBytes) next_chunk_bytes_ *= 2;
+  }
+
+  std::vector<std::unique_ptr<unsigned char[]>> chunks_;
+  unsigned char* cursor_ = nullptr;
+  std::size_t remaining_ = 0;
+  std::size_t next_chunk_bytes_;
+  std::size_t bytes_reserved_ = 0;
+  std::size_t bytes_allocated_ = 0;
+};
+
+/// Size-class free lists over an Arena. Classes are multiples of 16 bytes up
+/// to `kMaxPooledBytes`; larger requests fall through to the system
+/// allocator (they are not part of any hot path).
+class FreeListPool {
+ public:
+  static constexpr std::size_t kGranularity = 16;
+  static constexpr std::size_t kMaxPooledBytes = 512;
+
+  void* allocate(std::size_t bytes) {
+    const std::size_t cls = size_class(bytes);
+    if (cls == kUnpooled) return ::operator new(bytes);
+    FreeBlock*& head = free_[cls];
+    if (head != nullptr) {
+      void* p = head;
+      head = head->next;
+      return p;
+    }
+    return arena_.allocate((cls + 1) * kGranularity);
+  }
+
+  void deallocate(void* p, std::size_t bytes) {
+    const std::size_t cls = size_class(bytes);
+    if (cls == kUnpooled) {
+      ::operator delete(p);
+      return;
+    }
+    auto* block = static_cast<FreeBlock*>(p);
+    block->next = free_[cls];
+    free_[cls] = block;
+  }
+
+  [[nodiscard]] const Arena& arena() const { return arena_; }
+
+ private:
+  struct FreeBlock {
+    FreeBlock* next;
+  };
+  static constexpr std::size_t kNumClasses = kMaxPooledBytes / kGranularity;
+  static constexpr std::size_t kUnpooled = static_cast<std::size_t>(-1);
+
+  /// Maps a byte count to its class index, or kUnpooled. Class c serves
+  /// blocks of (c + 1) * kGranularity bytes.
+  static std::size_t size_class(std::size_t bytes) {
+    if (bytes == 0 || bytes > kMaxPooledBytes) return kUnpooled;
+    return (bytes - 1) / kGranularity;
+  }
+
+  Arena arena_;
+  FreeBlock* free_[kNumClasses] = {};
+};
+
+}  // namespace mra::core

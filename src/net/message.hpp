@@ -16,6 +16,14 @@ class Message {
  public:
   virtual ~Message() = default;
 
+  /// Messages churn at simulator rates, so their storage goes through the
+  /// thread-local recycling pool (net/message_pool.hpp) instead of the
+  /// system allocator. Only the sized deallocation function is declared:
+  /// the deleting destructor always knows the dynamic size, and the pool
+  /// needs it to return the block to the right size class.
+  static void* operator new(std::size_t bytes);
+  static void operator delete(void* p, std::size_t bytes) noexcept;
+
   /// Stable label for stats, e.g. "ReqCnt", "Token", "NT.Request".
   [[nodiscard]] virtual std::string_view kind() const = 0;
 

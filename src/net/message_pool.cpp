@@ -1,0 +1,69 @@
+#include "net/message_pool.hpp"
+
+#include <new>
+
+#include "core/arena.hpp"
+#include "net/message.hpp"
+
+namespace mra::net {
+
+void* Message::operator new(std::size_t bytes) {
+  return message_allocate(bytes);
+}
+
+void Message::operator delete(void* p, std::size_t bytes) noexcept {
+  message_deallocate(p, bytes);
+}
+
+#ifdef MRA_MESSAGE_POOL_DISABLED
+
+MessagePoolStats message_pool_stats() { return MessagePoolStats{}; }
+
+void* message_allocate(std::size_t bytes) { return ::operator new(bytes); }
+
+void message_deallocate(void* p, std::size_t /*bytes*/) noexcept {
+  ::operator delete(p);
+}
+
+#else
+
+namespace {
+
+struct ThreadPool {
+  core::FreeListPool pool;
+  std::uint64_t allocations = 0;
+  std::uint64_t deallocations = 0;
+};
+
+ThreadPool& thread_pool() {
+  thread_local ThreadPool pool;
+  return pool;
+}
+
+}  // namespace
+
+MessagePoolStats message_pool_stats() {
+  const ThreadPool& tp = thread_pool();
+  MessagePoolStats stats;
+  stats.enabled = true;
+  stats.allocations = tp.allocations;
+  stats.deallocations = tp.deallocations;
+  stats.bytes_reserved = tp.pool.arena().bytes_reserved();
+  return stats;
+}
+
+void* message_allocate(std::size_t bytes) {
+  ThreadPool& tp = thread_pool();
+  ++tp.allocations;
+  return tp.pool.allocate(bytes);
+}
+
+void message_deallocate(void* p, std::size_t bytes) noexcept {
+  ThreadPool& tp = thread_pool();
+  ++tp.deallocations;
+  tp.pool.deallocate(p, bytes);
+}
+
+#endif  // MRA_MESSAGE_POOL_DISABLED
+
+}  // namespace mra::net

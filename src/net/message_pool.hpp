@@ -1,0 +1,39 @@
+// The pooled allocator behind net::Message's class-level operator new /
+// delete.
+//
+// Every protocol message in a simulation is heap-born (`std::make_unique<M>`)
+// and dies a few simulated microseconds later in the delivery callback —
+// at large N that is millions of malloc/free pairs doing no useful work.
+// This pool routes message storage through a thread-local
+// core::FreeListPool: after warm-up a simulation recycles the same few
+// cache-warm blocks and the system allocator drops out of the deliver path
+// entirely. Thread-local matches the concurrency model (one simulation is
+// single-threaded; experiment::run_sweep runs independent simulations on
+// worker threads, each with its own pool).
+//
+// Building with MRA_SANITIZE=ON defines MRA_MESSAGE_POOL_DISABLED, which
+// forwards straight to the system allocator so AddressSanitizer can still
+// see message lifetime bugs instead of benign pool reuse.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mra::net {
+
+/// Introspection for tests and DESIGN.md §9 examples; all counters are for
+/// the calling thread's pool.
+struct MessagePoolStats {
+  bool enabled = false;            ///< false when MRA_MESSAGE_POOL_DISABLED
+  std::uint64_t allocations = 0;   ///< operator new calls served
+  std::uint64_t deallocations = 0; ///< operator delete calls served
+  std::size_t bytes_reserved = 0;  ///< arena bytes held for recycling
+};
+
+[[nodiscard]] MessagePoolStats message_pool_stats();
+
+/// Allocation entry points used by net::Message; not for direct use.
+[[nodiscard]] void* message_allocate(std::size_t bytes);
+void message_deallocate(void* p, std::size_t bytes) noexcept;
+
+}  // namespace mra::net

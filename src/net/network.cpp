@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <string_view>
 #include <utility>
 
 namespace mra::net {
@@ -46,9 +47,13 @@ void Network::deliver(SiteId src, SiteId dst, std::unique_ptr<Message> msg,
   ++total_messages_;
   const std::uint64_t size = kEnvelopeBytes + msg->wire_size();
   total_bytes_ += size;
-  auto& st = stats_[std::string(msg->kind())];
-  ++st.count;
-  st.bytes += size;
+  const std::string_view kind = msg->kind();
+  auto it = stats_.find(kind);
+  if (it == stats_.end()) {
+    it = stats_.emplace(std::string(kind), MessageStats{}).first;
+  }
+  ++it->second.count;
+  it->second.bytes += size;
 
   // FIFO per ordered link: never deliver before a previously sent message on
   // the same (src, dst) pair.
@@ -58,11 +63,12 @@ void Network::deliver(SiteId src, SiteId dst, std::unique_ptr<Message> msg,
   if (at <= last_delivery_[link]) at = last_delivery_[link] + 1;
   last_delivery_[link] = at;
 
-  // The event owns the message; shared_ptr keeps the callback copyable
-  // (std::function requires copyability).
-  std::shared_ptr<Message> owned{std::move(msg)};
+  // The event owns the message outright: sim::Callback is move-aware, so
+  // the unique_ptr travels through the queue with no shared_ptr control
+  // block and no closure heap allocation (the capture fits the callback's
+  // inline buffer). Pool recycling in ~Message closes the loop.
   Node* target = nodes_[static_cast<std::size_t>(dst)];
-  sim_.schedule_at(at, [target, src, owned]() {
+  sim_.schedule_at(at, [target, src, owned = std::move(msg)]() {
     target->on_message(src, *owned);
   });
 }

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -61,10 +62,11 @@ class Network {
   [[nodiscard]] std::uint64_t total_messages() const { return total_messages_; }
   [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
 
-  /// Per-kind statistics, keyed by Message::kind().
-  [[nodiscard]] const std::map<std::string, MessageStats>& stats_by_kind() const {
-    return stats_;
-  }
+  /// Per-kind statistics, keyed by Message::kind(). The transparent
+  /// comparator lets deliver() look kinds up by string_view without
+  /// materialising a std::string per message.
+  using StatsMap = std::map<std::string, MessageStats, std::less<>>;
+  [[nodiscard]] const StatsMap& stats_by_kind() const { return stats_; }
 
   /// Resets statistics (e.g. after a warm-up phase).
   void reset_stats();
@@ -80,7 +82,7 @@ class Network {
   std::vector<sim::SimTime> last_delivery_;  // [src * N + dst], FIFO watermark
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_bytes_ = 0;
-  std::map<std::string, MessageStats> stats_;
+  StatsMap stats_;
   bool started_ = false;
 };
 

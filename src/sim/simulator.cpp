@@ -13,17 +13,31 @@ std::uint64_t Simulator::run_loop(SimTime until,
                                   const std::function<bool()>* pred) {
   stop_requested_ = false;
   std::uint64_t fired = 0;
-  while (!queue_.empty() && !stop_requested_) {
-    if (queue_.next_time() > until) break;
-    auto ev = queue_.pop();
-    now_ = ev.time;
-    ev.callback();
-    ++fired;
-    ++processed_;
-    if (event_budget_ != 0 && fired > event_budget_) {
-      throw EventBudgetExceeded(event_budget_);
+  bool done = false;
+  // One horizon check and one clock update per *instant*; the inner loop
+  // then drains every event at that instant. Events scheduled for the
+  // current instant by these callbacks have larger sequence numbers, so
+  // the batch picks them up after the already-queued ones — the same
+  // (time, seq) order the one-at-a-time loop produced. fire_next_at
+  // reports the follow-up time (post-callback, so it is authoritative),
+  // making steady state exactly one queue call per event.
+  SimTime t = queue_.next_time();
+  while (!done) {
+    if (queue_.empty() || t > until) break;
+    now_ = t;
+    SimTime next = t;
+    while (next == t && queue_.fire_next_at(t, &next)) {
+      ++fired;
+      ++processed_;
+      if (event_budget_ != 0 && fired > event_budget_) {
+        throw EventBudgetExceeded(event_budget_);
+      }
+      if (stop_requested_ || (pred != nullptr && (*pred)())) {
+        done = true;
+        break;
+      }
     }
-    if (pred != nullptr && (*pred)()) break;
+    t = next;
   }
   // When stopping because the horizon was reached, advance the clock so that
   // metrics integrate exactly up to `until`.

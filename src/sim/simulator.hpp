@@ -56,7 +56,9 @@ class Simulator {
 
   /// Runs until the event queue drains or `until` is reached, whichever is
   /// first. Events scheduled exactly at `until` do fire. Returns the number
-  /// of events processed by this call.
+  /// of events processed by this call. Same-instant events are drained in
+  /// one batch (one horizon check and clock update per instant) while
+  /// preserving the (time, scheduling order) firing contract.
   std::uint64_t run(SimTime until = kTimeInfinity);
 
   /// Runs until the queue drains, `until` is reached, or `pred()` becomes

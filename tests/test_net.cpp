@@ -1,8 +1,11 @@
-// Network substrate tests: FIFO links, latency models, statistics.
+// Network substrate tests: FIFO links, latency models, statistics, and the
+// pooled message allocator.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
+#include "net/message_pool.hpp"
 #include "net/network.hpp"
 
 namespace mra::net {
@@ -147,6 +150,56 @@ TEST(Network, AddNodeAfterStartThrows) {
 TEST(Network, NullLatencyModelThrows) {
   sim::Simulator sim;
   EXPECT_THROW(Network(sim, nullptr, 1), std::invalid_argument);
+}
+
+// The pool recycles message storage in LIFO order: allocating after a free
+// of the same size class must reuse the freed block instead of touching the
+// system allocator. (Disabled under sanitizers, where the pool forwards to
+// the system allocator so ASan keeps seeing message lifetimes.)
+TEST(MessagePool, RecyclesFreedBlocksOfSameSizeClass) {
+  if (!message_pool_stats().enabled) {
+    GTEST_SKIP() << "message pool disabled (sanitizer build)";
+  }
+  auto first = std::make_unique<TestMsg>(1);
+  void* first_addr = first.get();
+  first.reset();
+  auto second = std::make_unique<TestMsg>(2);
+  EXPECT_EQ(static_cast<void*>(second.get()), first_addr);
+}
+
+TEST(MessagePool, CountsAllocationsAndReleases) {
+  if (!message_pool_stats().enabled) {
+    GTEST_SKIP() << "message pool disabled (sanitizer build)";
+  }
+  const MessagePoolStats before = message_pool_stats();
+  {
+    auto a = std::make_unique<TestMsg>(1);
+    auto b = std::make_unique<TestMsg>(2);
+  }
+  const MessagePoolStats after = message_pool_stats();
+  EXPECT_EQ(after.allocations, before.allocations + 2);
+  EXPECT_EQ(after.deallocations, before.deallocations + 2);
+  EXPECT_GT(after.bytes_reserved, 0u);
+}
+
+// End to end: a full simulated exchange must leave no message block behind
+// (every operator new paired with an operator delete through the pool).
+TEST(MessagePool, SimulationReturnsEveryMessageToThePool) {
+  if (!message_pool_stats().enabled) {
+    GTEST_SKIP() << "message pool disabled (sanitizer build)";
+  }
+  const MessagePoolStats before = message_pool_stats();
+  {
+    Fixture f(make_fixed_latency(sim::from_ms(0.6)));
+    for (int i = 0; i < 50; ++i) {
+      f.net.send(0, 1, std::make_unique<TestMsg>(i));
+    }
+    f.sim.run();
+    EXPECT_EQ(f.b.log.size(), 50u);
+  }
+  const MessagePoolStats after = message_pool_stats();
+  EXPECT_EQ(after.allocations - before.allocations,
+            after.deallocations - before.deallocations);
 }
 
 }  // namespace

@@ -64,6 +64,115 @@ TEST(EventQueue, EmptyQueueReportsInfinity) {
   EXPECT_EQ(q.next_time(), kTimeInfinity);
 }
 
+// The old implementation remembered every cancelled id in a tombstone set
+// that grew with total_scheduled(); the slab implementation recycles slots,
+// so a million schedule/cancel cycles must not grow memory past the peak
+// number of outstanding events.
+TEST(EventQueue, CancelBoundedMemoryOverMillionEvents) {
+  EventQueue q;
+  std::vector<EventId> pending;
+  for (int wave = 0; wave < 1000; ++wave) {
+    for (int i = 0; i < 1000; ++i) {
+      pending.push_back(
+          q.schedule(static_cast<SimTime>(wave * 1000 + i), []() {}));
+    }
+    for (const EventId id : pending) EXPECT_TRUE(q.cancel(id));
+    pending.clear();
+  }
+  EXPECT_EQ(q.total_scheduled(), 1'000'000u);
+  EXPECT_EQ(q.size(), 0u);
+  // Peak outstanding was 1000; the slab may hold a compaction slack on top
+  // of that, but must be nowhere near the million-event total.
+  EXPECT_LT(q.capacity(), 4096u);
+}
+
+// Same seed, same interleaving of schedule/cancel/pop -> bit-identical
+// Fired sequence. Guards against any address- or hash-dependent ordering
+// sneaking into the queue (the trace replay tests depend on this).
+TEST(EventQueue, DeterministicFiredSequenceUnderInterleavedScheduleCancel) {
+  auto run = [](std::uint64_t seed) {
+    Rng rng(seed);
+    EventQueue q;
+    std::vector<std::pair<SimTime, int>> fired;
+    std::vector<EventId> live;
+    int tag = 0;
+    for (int step = 0; step < 20000; ++step) {
+      const auto op = rng.uniform_int(0, 9);
+      if (op < 5) {
+        const auto at = static_cast<SimTime>(rng.uniform_int(0, 5000));
+        const int t = tag++;
+        live.push_back(q.schedule(at, [&fired, at, t]() {
+          fired.emplace_back(at, t);
+        }));
+      } else if (op < 7 && !live.empty()) {
+        const auto victim = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+        q.cancel(live[victim]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+      } else if (!q.empty()) {
+        q.pop().callback();
+      }
+    }
+    while (!q.empty()) q.pop().callback();
+    return fired;
+  };
+  const auto a = run(99);
+  const auto b = run(99);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+  // Fired times must be non-decreasing only per pop runs; at minimum the
+  // same-seed sequences agree element-wise, which is the contract.
+}
+
+// A slot freed by pop() is recycled by the next schedule(); the stale id of
+// the fired event must not be able to cancel the new tenant.
+TEST(EventQueue, GenerationTagMakesStaleIdsHarmlessAfterSlotReuse) {
+  EventQueue q;
+  int fired = 0;
+  const EventId first = q.schedule(10, [&]() { ++fired; });
+  q.pop().callback();
+  EXPECT_EQ(fired, 1);
+  const EventId second = q.schedule(20, [&]() { ++fired; });
+  EXPECT_NE(first, second);  // same slot, different generation
+  EXPECT_FALSE(q.cancel(first));
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().callback();
+  EXPECT_EQ(fired, 2);
+
+  // Cancelled slots are recycled too: cancel, reschedule, stale-cancel.
+  const EventId third = q.schedule(30, [&]() { ++fired; });
+  EXPECT_TRUE(q.cancel(third));
+  EXPECT_FALSE(q.cancel(third));
+  const EventId fourth = q.schedule(40, [&]() { ++fired; });
+  EXPECT_FALSE(q.cancel(third));
+  EXPECT_TRUE(q.cancel(fourth));
+  EXPECT_TRUE(q.empty());
+}
+
+// Scheduling order must survive heavy cancellation churn (which triggers
+// internal compaction sweeps) for events at one instant.
+TEST(EventQueue, SameInstantOrderSurvivesCancelChurn) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> victims;
+  for (int i = 0; i < 500; ++i) {
+    q.schedule(7, [&order, i]() { order.push_back(i); });
+    // Interleave far-future events, cancelled immediately, to drive the
+    // dead-entry ratio over the compaction threshold repeatedly.
+    victims.push_back(q.schedule(1000 + i, []() {}));
+    if (victims.size() >= 10) {
+      for (const EventId id : victims) EXPECT_TRUE(q.cancel(id));
+      victims.clear();
+    }
+  }
+  for (const EventId id : victims) EXPECT_TRUE(q.cancel(id));
+  while (!q.empty()) q.pop().callback();
+  ASSERT_EQ(order.size(), 500u);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
 TEST(Simulator, ClockFollowsEvents) {
   Simulator sim;
   SimTime seen = -1;
@@ -105,6 +214,42 @@ TEST(Simulator, NestedSchedulingKeepsOrder) {
   // scheduled earlier than the nested ones but at the same instant as #1.
   sim.run();
   EXPECT_EQ(order, (std::vector<int>{1, 3, 2, 4}));
+}
+
+// A callback may cancel an event queued for the *same* instant; the batch
+// drain must honour that cancellation instead of firing a pre-popped event.
+TEST(Simulator, SameInstantCancelFromCallbackPreventsFiring) {
+  Simulator sim;
+  std::vector<int> order;
+  EventId doomed = 0;
+  sim.schedule_in(10, [&]() {
+    order.push_back(1);
+    EXPECT_TRUE(sim.cancel(doomed));
+  });
+  doomed = sim.schedule_in(10, [&]() { order.push_back(2); });
+  sim.schedule_in(10, [&]() { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+// Chains of zero-delay events drain within one instant, in schedule order,
+// without the clock moving.
+TEST(Simulator, ZeroDelayChainsDrainWithinOneInstant) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_in(5, [&]() {
+    order.push_back(1);
+    sim.schedule_in(0, [&]() {
+      order.push_back(3);
+      sim.schedule_in(0, [&]() { order.push_back(4); });
+      EXPECT_EQ(sim.now(), 5);
+    });
+  });
+  sim.schedule_in(5, [&]() { order.push_back(2); });
+  sim.schedule_in(6, [&]() { order.push_back(5); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(sim.now(), 6);
 }
 
 TEST(Simulator, StopEndsRun) {
