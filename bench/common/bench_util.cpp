@@ -20,6 +20,14 @@ BenchOptions parse_options(int argc, char** argv, bool supports_json) {
       opts.seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flag_value(argc, argv, i, "--threads", v)) {
       opts.threads = static_cast<unsigned>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (flag_value(argc, argv, i, "--reps", v)) {
+      opts.reps = static_cast<std::size_t>(std::strtoull(v.c_str(), nullptr, 10));
+      if (opts.reps == 0) {
+        std::cerr << "--reps must be >= 1\n";
+        std::exit(2);
+      }
+    } else if (arg == "--ci") {
+      opts.ci = true;
     } else if (flag_value(argc, argv, i, "--csv", v)) {
       opts.csv_path = v;
     } else if (flag_value(argc, argv, i, "--json", v)) {
@@ -32,7 +40,8 @@ BenchOptions parse_options(int argc, char** argv, bool supports_json) {
       }
       opts.json_path = v;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "options: --quick --seed=S --threads=T --csv=PATH"
+      std::cout << "options: --quick --seed=S --threads=T --reps=N --ci "
+                   "--csv=PATH"
                 << (supports_json ? " --json=PATH" : "") << "\n";
       std::exit(0);
     } else {
@@ -40,6 +49,12 @@ BenchOptions parse_options(int argc, char** argv, bool supports_json) {
       std::cerr << "unknown option: " << arg << "\n";
       std::exit(2);
     }
+  }
+  if (opts.ci && opts.reps < 2) {
+    // A requested error bar must fail fast, not degrade to a point estimate.
+    std::cerr << "--ci needs --reps >= 2 (confidence intervals require "
+                 "independent replications)\n";
+    std::exit(2);
   }
   return opts;
 }
@@ -76,6 +91,16 @@ void emit_json(const std::string& bench_name,
                const BenchOptions& options) {
   if (options.json_path.empty()) return;
   experiment::write_results_json_file(options.json_path, bench_name, results);
+  std::cout << "(json: " << options.json_path << ")\n";
+}
+
+void emit_json(
+    const std::string& bench_name,
+    const std::vector<experiment::LabeledReplicatedResult>& results,
+    const BenchOptions& options) {
+  if (options.json_path.empty()) return;
+  experiment::write_replicated_json_file(options.json_path, bench_name,
+                                         results);
   std::cout << "(json: " << options.json_path << ")\n";
 }
 

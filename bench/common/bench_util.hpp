@@ -7,6 +7,7 @@
 
 #include "experiment/experiment.hpp"
 #include "experiment/json.hpp"
+#include "experiment/replicate.hpp"
 #include "experiment/sweep.hpp"
 #include "experiment/table.hpp"
 
@@ -16,12 +17,18 @@ namespace mra::bench {
 ///   --quick        shorter measurement window (CI-friendly)
 ///   --seed=S       base RNG seed
 ///   --threads=T    sweep worker threads (0 = hardware concurrency)
+///   --reps=N       independent replications per configuration (default 1);
+///                  N >= 2 reports mean ± 95% CI and p50/p95/p99 per series
+///   --ci           assert that confidence intervals are being produced
+///                  (errors out unless --reps >= 2)
 ///   --csv=PATH     also write the table as CSV
 ///   --json=PATH    also write machine-readable results (BENCH_*.json)
 struct BenchOptions {
   bool quick = false;
   std::uint64_t seed = 1;
   unsigned threads = 0;
+  std::size_t reps = 1;
+  bool ci = false;
   std::string csv_path;
   std::string json_path;
 
@@ -52,5 +59,12 @@ void emit(const experiment::Table& table, const BenchOptions& options,
 void emit_json(const std::string& bench_name,
                const std::vector<experiment::LabeledResult>& results,
                const BenchOptions& options);
+
+/// Replicated-run flavor (rows carry replications, CI half-widths and tail
+/// quantiles).
+void emit_json(
+    const std::string& bench_name,
+    const std::vector<experiment::LabeledReplicatedResult>& results,
+    const BenchOptions& options);
 
 }  // namespace mra::bench

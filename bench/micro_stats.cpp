@@ -1,0 +1,205 @@
+// Statistics micro-bench: throughput of the metrics primitives the
+// replicated-experiment layer leans on — QuantileSketch add/merge/query,
+// RunningStats add, Histogram add. Tracked by the CI perf gate next to
+// micro_engine (scripts/bench_compare.py diffs its BENCH_micro_stats.json),
+// so every workload is deterministic: the `samples` counts never vary across
+// machines, only the wall-clock `ops_per_sec` rates do.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/bench_util.hpp"
+#include "metrics/stats.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+using namespace mra;
+
+/// One row of BENCH_micro_stats.json. `samples` is deterministic (seeded
+/// draws, fixed budgets); `wall_ms` and `ops_per_sec` are machine-dependent.
+struct StatsResult {
+  std::string label;
+  std::uint64_t samples = 0;
+  double wall_ms = 0.0;
+  double ops_per_sec = 0.0;
+};
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double elapsed_ms() const {
+    const auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(d).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// The accumulators are observable state (counts/quantiles are read after the
+// loop), but percentile query results need an explicit sink so the calls
+// cannot be elided.
+volatile double g_sink = 0.0;
+
+std::vector<double> draw_samples(std::uint64_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  // Exponential waiting-time-shaped samples spanning several bucket decades.
+  for (std::uint64_t i = 0; i < n; ++i) xs.push_back(rng.exponential(5.0));
+  return xs;
+}
+
+StatsResult run_sketch_add(std::uint64_t budget, std::uint64_t seed) {
+  const std::vector<double> xs = draw_samples(budget, seed);
+  metrics::QuantileSketch sketch;
+  WallTimer timer;
+  for (double x : xs) sketch.add(x);
+  StatsResult r;
+  r.label = "sketch_add";
+  r.samples = sketch.count();
+  r.wall_ms = timer.elapsed_ms();
+  r.ops_per_sec = static_cast<double>(r.samples) / (r.wall_ms / 1e3);
+  return r;
+}
+
+StatsResult run_sketch_merge(std::uint64_t budget, std::uint64_t seed,
+                             std::size_t parts, std::size_t rounds) {
+  const std::vector<double> xs = draw_samples(budget, seed);
+  std::vector<metrics::QuantileSketch> sketches(parts);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sketches[i % parts].add(xs[i]);
+  }
+  WallTimer timer;
+  std::uint64_t merges = 0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    metrics::QuantileSketch merged;
+    for (const auto& s : sketches) {
+      merged.merge(s);
+      ++merges;
+    }
+    g_sink = g_sink + merged.percentile(99);
+  }
+  StatsResult r;
+  r.label = "sketch_merge";
+  r.samples = merges;
+  r.wall_ms = timer.elapsed_ms();
+  r.ops_per_sec = static_cast<double>(merges) / (r.wall_ms / 1e3);
+  return r;
+}
+
+StatsResult run_sketch_percentile(std::uint64_t budget, std::uint64_t seed,
+                                  std::uint64_t queries) {
+  const std::vector<double> xs = draw_samples(budget, seed);
+  metrics::QuantileSketch sketch;
+  for (double x : xs) sketch.add(x);
+  static constexpr double kPs[] = {50.0, 90.0, 95.0, 99.0, 99.9};
+  WallTimer timer;
+  double sink = 0.0;
+  for (std::uint64_t q = 0; q < queries; ++q) {
+    sink += sketch.percentile(kPs[q % 5]);
+  }
+  g_sink = g_sink + sink;
+  StatsResult r;
+  r.label = "sketch_percentile";
+  r.samples = queries;
+  r.wall_ms = timer.elapsed_ms();
+  r.ops_per_sec = static_cast<double>(queries) / (r.wall_ms / 1e3);
+  return r;
+}
+
+StatsResult run_running_stats_add(std::uint64_t budget, std::uint64_t seed) {
+  const std::vector<double> xs = draw_samples(budget, seed);
+  metrics::RunningStats stats;
+  WallTimer timer;
+  for (double x : xs) stats.add(x);
+  StatsResult r;
+  r.label = "running_stats_add";
+  r.samples = stats.count();
+  r.wall_ms = timer.elapsed_ms();
+  r.ops_per_sec = static_cast<double>(r.samples) / (r.wall_ms / 1e3);
+  return r;
+}
+
+StatsResult run_histogram_add(std::uint64_t budget, std::uint64_t seed) {
+  const std::vector<double> xs = draw_samples(budget, seed);
+  metrics::Histogram hist(0.0, 50.0, 256);
+  WallTimer timer;
+  for (double x : xs) hist.add(x);
+  StatsResult r;
+  r.label = "histogram_add";
+  r.samples = hist.total();
+  r.wall_ms = timer.elapsed_ms();
+  r.ops_per_sec = static_cast<double>(r.samples) / (r.wall_ms / 1e3);
+  return r;
+}
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+void write_json(const std::string& path,
+                const std::vector<StatsResult>& results) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open for writing: " + path);
+  f << "{\"tool\":\"micro_stats\",\"results\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const StatsResult& r = results[i];
+    if (i != 0) f << ",";
+    f << "\n  {\"label\":\"" << r.label << "\""
+      << ",\"samples\":" << r.samples << ",\"wall_ms\":" << num(r.wall_ms)
+      << ",\"ops_per_sec\":" << num(r.ops_per_sec) << "}";
+  }
+  f << "\n]}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::parse_options(argc, argv, /*supports_json=*/true);
+  const std::uint64_t budget = options.quick ? 200'000 : 2'000'000;
+  const std::uint64_t queries = options.quick ? 100'000 : 1'000'000;
+  const std::size_t merge_rounds = options.quick ? 100 : 400;
+
+  std::vector<StatsResult> results;
+  std::printf("%-20s %12s %10s %14s\n", "workload", "samples", "wall_ms",
+              "ops/sec");
+  // Best of kReps: machine noise only ever slows a run down, so the fastest
+  // repetition is the most faithful throughput estimate (same policy as
+  // micro_engine; counts are identical across repetitions).
+  constexpr int kReps = 5;
+  auto emit = [&results](auto&& run_once) {
+    StatsResult best = run_once();
+    for (int rep = 1; rep < kReps; ++rep) {
+      StatsResult r = run_once();
+      if (r.wall_ms < best.wall_ms) best = r;
+    }
+    std::printf("%-20s %12llu %10.1f %14.0f\n", best.label.c_str(),
+                static_cast<unsigned long long>(best.samples), best.wall_ms,
+                best.ops_per_sec);
+    results.push_back(best);
+  };
+
+  emit([&]() { return run_sketch_add(budget, options.seed); });
+  emit([&]() {
+    return run_sketch_merge(budget, options.seed, /*parts=*/256, merge_rounds);
+  });
+  emit([&]() { return run_sketch_percentile(budget, options.seed, queries); });
+  emit([&]() { return run_running_stats_add(budget, options.seed); });
+  emit([&]() { return run_histogram_add(budget, options.seed); });
+
+  if (!options.json_path.empty()) {
+    write_json(options.json_path, results);
+    std::cout << "(json: " << options.json_path << ")\n";
+  }
+  return 0;
+}

@@ -16,6 +16,7 @@
 
 #include "core/cli.hpp"
 #include "experiment/json.hpp"
+#include "experiment/replicate.hpp"
 #include "experiment/sweep.hpp"
 #include "experiment/table.hpp"
 #include "scenario/registry.hpp"
@@ -37,6 +38,8 @@ struct Options {
   bool seed_set = false;
   std::uint64_t seed = 1;
   unsigned threads = 0;
+  std::size_t reps = 1;
+  bool ci = false;
   std::string csv_path;
   std::string json_path;
 };
@@ -54,6 +57,10 @@ struct Options {
       "  --quick                short windows (CI-friendly)\n"
       "  --seed S               override the scenario's seed\n"
       "  --threads T            sweep worker threads (0 = hardware)\n"
+      "  --reps N               independent replications per run (default 1);\n"
+      "                         N >= 2 reports mean ± 95% CI and p50/p95/p99\n"
+      "  --ci                   assert error bars are produced (needs\n"
+      "                         --reps >= 2)\n"
       "  --csv PATH             write the result table as CSV\n"
       "  --json PATH            write machine-readable results as JSON\n"
       "\n"
@@ -83,6 +90,14 @@ Options parse(int argc, char** argv) {
       o.seed_set = true;
     } else if (flag_value(argc, argv, i, "--threads", v)) {
       o.threads = static_cast<unsigned>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (flag_value(argc, argv, i, "--reps", v)) {
+      o.reps = static_cast<std::size_t>(std::strtoull(v.c_str(), nullptr, 10));
+      if (o.reps == 0) {
+        std::cerr << "--reps must be >= 1\n";
+        usage(2);
+      }
+    } else if (arg == "--ci") {
+      o.ci = true;
     } else if (flag_value(argc, argv, i, "--csv", v)) {
       o.csv_path = v;
     } else if (flag_value(argc, argv, i, "--json", v)) {
@@ -93,6 +108,12 @@ Options parse(int argc, char** argv) {
       std::cerr << "unknown option: " << arg << "\n";
       usage(2);
     }
+  }
+  if (o.ci && o.reps < 2) {
+    // A requested error bar must fail fast, not degrade to a point estimate.
+    std::cerr << "--ci needs --reps >= 2 (confidence intervals require "
+                 "independent replications)\n";
+    usage(2);
   }
   return o;
 }
@@ -159,9 +180,11 @@ int run_record(const Options& o) {
     return 2;
   }
   // Recording produces a trace file, not result tables: a requested result
-  // artifact or thread count would be silently dropped, so fail fast.
-  if (!o.json_path.empty() || !o.csv_path.empty() || o.threads != 0) {
-    std::cerr << "--json/--csv/--threads do not apply to --record\n";
+  // artifact, thread count or replication count would be silently dropped,
+  // so fail fast.
+  if (!o.json_path.empty() || !o.csv_path.empty() || o.threads != 0 ||
+      o.reps != 1) {
+    std::cerr << "--json/--csv/--threads/--reps do not apply to --record\n";
     return 2;
   }
   const auto algos = select_algorithms(o);
@@ -183,6 +206,13 @@ int run_replay(const Options& o) {
   if (o.threads != 0) {
     std::cerr << "--threads applies to scenario sweeps; replays run "
                  "sequentially\n";
+    return 2;
+  }
+  if (o.reps != 1) {
+    // A replay consumes a fixed recorded request sequence: rerunning it
+    // cannot produce an independent replication, only the same input again.
+    std::cerr << "--reps does not apply to --replay (a trace fixes the "
+                 "request sequence; record more traces instead)\n";
     return 2;
   }
   const scenario::RequestTrace trace = scenario::load_trace(o.replay_path);
@@ -251,6 +281,61 @@ int run_sweep_mode(const Options& o) {
   return 0;
 }
 
+/// Replicated sweep (--reps N >= 2): every (scenario, algorithm) pair runs N
+/// times on independent seed substreams of the scenario's base seed; rows
+/// carry mean ± 95% CI and the pooled p50/p95/p99 waiting quantiles.
+int run_replicated_mode(const Options& o) {
+  const auto specs = select_scenarios(o);
+  const auto algos = select_algorithms(o);
+
+  std::vector<experiment::ReplicatedJob> jobs;
+  std::vector<std::string> labels;
+  for (const scenario::ScenarioSpec& spec : specs) {
+    for (algo::Algorithm alg : algos) {
+      experiment::ReplicatedJob job;
+      job.base_seed = spec.system.seed;
+      job.replications = o.reps;
+      job.make = [spec, alg](std::uint64_t rep_seed) {
+        scenario::ScenarioSpec s = spec;
+        s.system.seed = rep_seed;
+        return scenario::run_scenario(s, alg);
+      };
+      jobs.push_back(std::move(job));
+      labels.push_back(spec.name);
+    }
+  }
+  const auto results = experiment::run_replicated_jobs(jobs, o.threads);
+
+  Table table({"scenario", "algorithm", "use-rate %", "mean wait (ms)", "p50",
+               "p95", "p99", "completed", "msgs/CS"});
+  std::vector<experiment::LabeledReplicatedResult> labeled;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    metrics::Estimate use_pct = r.use_rate;
+    use_pct.mean *= 100.0;
+    use_pct.ci95_half *= 100.0;
+    table.add_row({labels[i], r.algorithm, experiment::fmt_estimate(use_pct, 1),
+                   experiment::fmt_estimate(r.waiting_mean_ms, 2),
+                   Table::fmt(r.waiting_p50_ms, 2),
+                   Table::fmt(r.waiting_p95_ms, 2),
+                   Table::fmt(r.waiting_p99_ms, 2),
+                   std::to_string(r.requests_completed),
+                   experiment::fmt_estimate(r.messages_per_cs, 1)});
+    labeled.push_back(experiment::LabeledReplicatedResult{labels[i], r});
+  }
+  table.print(std::cout);
+  if (!o.csv_path.empty()) {
+    table.write_csv(o.csv_path);
+    std::cout << "(csv: " << o.csv_path << ")\n";
+  }
+  if (!o.json_path.empty()) {
+    experiment::write_replicated_json_file(o.json_path, "mra_scenarios",
+                                           labeled);
+    std::cout << "(json: " << o.json_path << ")\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -259,6 +344,7 @@ int main(int argc, char** argv) {
     if (o.list) return run_list();
     if (!o.record_path.empty()) return run_record(o);
     if (!o.replay_path.empty()) return run_replay(o);
+    if (o.reps > 1) return run_replicated_mode(o);
     return run_sweep_mode(o);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

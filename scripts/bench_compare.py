@@ -14,7 +14,9 @@ from the field name:
   higher is better   *_per_sec, use_rate
   lower is better    waiting_mean_ms, messages_per_cs
   informational      wall_ms, *_per_sec_wall (too short-lived for a stable
-                     rate), stddevs, counters (never gate)
+                     rate), *_ci95 confidence half-widths (interval width is
+                     a sampling property, not a performance metric — always
+                     advisory), stddevs, percentiles, counters (never gate)
 
 Deterministic count fields (events, messages, requests_completed, loans_*)
 are bit-identical across machines for the same code, so --strict-counts
@@ -43,7 +45,9 @@ import sys
 
 HIGHER_BETTER_SUFFIXES = ("_per_sec",)
 HIGHER_BETTER_FIELDS = {"use_rate"}
-INFORMATIONAL_SUFFIXES = ("_per_sec_wall",)
+# _ci95: confidence-interval half-widths shrink with more replications and
+# wobble with seeds — advisory context for the reviewer, never a gate.
+INFORMATIONAL_SUFFIXES = ("_per_sec_wall", "_ci95")
 LOWER_BETTER_FIELDS = {"waiting_mean_ms", "messages_per_cs"}
 COUNT_FIELDS = {
     "events",
@@ -52,6 +56,8 @@ COUNT_FIELDS = {
     "bytes",
     "loans_used",
     "loans_failed",
+    "replications",
+    "samples",
 }
 
 

@@ -14,6 +14,11 @@ ExperimentResult summarize(algo::AllocationSystem& system,
   result.use_rate = col.usage().use_rate(sim.now());
   result.waiting_mean_ms = col.waiting().mean();
   result.waiting_stddev_ms = col.waiting().stddev();
+  result.waiting_stats = col.waiting();
+  result.waiting_sketch = col.waiting_sketch();
+  result.waiting_p50_ms = result.waiting_sketch.percentile(50);
+  result.waiting_p95_ms = result.waiting_sketch.percentile(95);
+  result.waiting_p99_ms = result.waiting_sketch.percentile(99);
   result.requests_completed = col.completed();
   for (const auto& s : col.waiting_by_size()) {
     result.waiting_by_size.push_back(

@@ -37,8 +37,16 @@ struct ExperimentResult {
   double use_rate = 0.0;              ///< [0, 1]
   double waiting_mean_ms = 0.0;
   double waiting_stddev_ms = 0.0;
+  double waiting_p50_ms = 0.0;
+  double waiting_p95_ms = 0.0;
+  double waiting_p99_ms = 0.0;
   std::uint64_t requests_completed = 0;
   std::vector<BucketStats> waiting_by_size;
+
+  /// Mergeable waiting-time accumulators, carried so replicated runs can
+  /// pool per-rep samples exactly (experiment/replicate.hpp).
+  metrics::RunningStats waiting_stats;
+  metrics::QuantileSketch waiting_sketch;
 
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;

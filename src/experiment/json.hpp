@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "experiment/experiment.hpp"
+#include "experiment/replicate.hpp"
 
 namespace mra::experiment {
 
@@ -15,6 +16,12 @@ namespace mra::experiment {
 struct LabeledResult {
   std::string label;
   ExperimentResult result;
+};
+
+/// A replicated result plus the caller's context label.
+struct LabeledReplicatedResult {
+  std::string label;
+  ReplicatedResult result;
 };
 
 /// Escapes a string for inclusion inside JSON double quotes.
@@ -30,5 +37,17 @@ void write_results_json(std::ostream& os, const std::string& tool,
 /// opened.
 void write_results_json_file(const std::string& path, const std::string& tool,
                              const std::vector<LabeledResult>& results);
+
+/// Replicated-run export: same shape and row keys (label, algorithm, phi,
+/// rho) as write_results_json so scripts/bench_compare.py matches rows, plus
+/// `replications`, the `*_ci95` half-widths (null below two replications;
+/// advisory by naming contract with bench_compare) and the pooled
+/// waiting-time tail quantiles.
+void write_replicated_json(std::ostream& os, const std::string& tool,
+                           const std::vector<LabeledReplicatedResult>& results);
+
+void write_replicated_json_file(
+    const std::string& path, const std::string& tool,
+    const std::vector<LabeledReplicatedResult>& results);
 
 }  // namespace mra::experiment

@@ -7,6 +7,29 @@
 
 namespace mra::experiment {
 
+namespace {
+
+std::string sweep_error_message(std::size_t job_index, std::size_t job_count,
+                                std::size_t failed_count,
+                                const std::string& cause) {
+  std::string msg = "sweep job #" + std::to_string(job_index) + " of " +
+                    std::to_string(job_count) + " failed";
+  if (failed_count > 1) {
+    msg += " (" + std::to_string(failed_count) + " job(s) failed in total)";
+  }
+  msg += ": " + cause;
+  return msg;
+}
+
+}  // namespace
+
+SweepError::SweepError(std::size_t job_index, std::size_t job_count,
+                       std::size_t failed_count, const std::string& cause)
+    : std::runtime_error(
+          sweep_error_message(job_index, job_count, failed_count, cause)),
+      job_index_(job_index),
+      failed_count_(failed_count) {}
+
 std::vector<ExperimentResult> run_sweep(const std::vector<SweepJob>& jobs,
                                         unsigned threads) {
   std::vector<ExperimentResult> results(jobs.size());
@@ -17,7 +40,12 @@ std::vector<ExperimentResult> run_sweep(const std::vector<SweepJob>& jobs,
   if (threads > jobs.size()) threads = static_cast<unsigned>(jobs.size());
 
   std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
+  // Keep the *lowest-index* failure, not the first in wall-clock order:
+  // which job loses a race depends on scheduling, the reported index must
+  // not.
+  std::size_t error_index = jobs.size();
+  std::exception_ptr error;
+  std::size_t failed = 0;
   std::mutex error_mutex;
 
   auto worker = [&]() {
@@ -28,7 +56,11 @@ std::vector<ExperimentResult> run_sweep(const std::vector<SweepJob>& jobs,
         results[i] = jobs[i]();
       } catch (...) {
         std::scoped_lock lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        ++failed;
+        if (i < error_index) {
+          error_index = i;
+          error = std::current_exception();
+        }
       }
     }
   };
@@ -39,7 +71,16 @@ std::vector<ExperimentResult> run_sweep(const std::vector<SweepJob>& jobs,
     for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
   }  // joins
 
-  if (first_error) std::rethrow_exception(first_error);
+  if (error) {
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& e) {
+      throw SweepError(error_index, jobs.size(), failed, e.what());
+    } catch (...) {
+      throw SweepError(error_index, jobs.size(), failed,
+                       "unknown exception type");
+    }
+  }
   return results;
 }
 

@@ -6,7 +6,10 @@
 // the output order is deterministic regardless of scheduling.
 #pragma once
 
+#include <cstddef>
 #include <functional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "experiment/experiment.hpp"
@@ -18,10 +21,32 @@ namespace mra::experiment {
 /// scenario runner sweeps ScenarioSpec × Algorithm jobs this way).
 using SweepJob = std::function<ExperimentResult()>;
 
+/// Thrown by run_sweep when at least one job failed. Identifies the failing
+/// job (the lowest-index failure, which is stable across scheduling) and
+/// carries its message plus the total failure count; what() reads e.g.
+/// "sweep job #3 of 12 failed (2 job(s) failed in total): <cause>".
+class SweepError : public std::runtime_error {
+ public:
+  SweepError(std::size_t job_index, std::size_t job_count,
+             std::size_t failed_count, const std::string& cause);
+
+  [[nodiscard]] std::size_t job_index() const { return job_index_; }
+  [[nodiscard]] std::size_t failed_count() const { return failed_count_; }
+
+ private:
+  std::size_t job_index_;
+  std::size_t failed_count_;
+};
+
 /// Runs all jobs, using up to `threads` workers (0 = hardware concurrency).
 /// Results land at their job's index, so the output order is deterministic
-/// regardless of scheduling. Exceptions from individual runs propagate after
-/// the pool drains.
+/// regardless of scheduling.
+///
+/// Error contract: the pool always drains — a throwing job never cancels
+/// the others — and afterwards a SweepError for the lowest-index failure is
+/// thrown. No partial results escape: the output vector is discarded on
+/// throw, so callers never see a default-constructed ExperimentResult
+/// standing in for a failed run.
 [[nodiscard]] std::vector<ExperimentResult> run_sweep(
     const std::vector<SweepJob>& jobs, unsigned threads = 0);
 

@@ -1,6 +1,7 @@
 #include "experiment/table.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -73,6 +74,13 @@ void Table::write_csv(const std::string& path) const {
   };
   emit(header_);
   for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt_estimate(const metrics::Estimate& e, int precision) {
+  const std::string half = std::isnan(e.ci95_half)
+                               ? std::string("n/a")
+                               : Table::fmt(e.ci95_half, precision);
+  return Table::fmt(e.mean, precision) + " ±" + half;
 }
 
 }  // namespace mra::experiment

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "metrics/stats.hpp"
+
 namespace mra::experiment {
 
 /// A simple column-aligned table: set a header, append rows, print.
@@ -26,5 +28,11 @@ class Table {
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// "12.3 ±0.4" — a mean with its 95% half-width at the given precision
+/// ("±n/a" when fewer than two replications make the interval undefined).
+/// Shared by every table front end that renders a metrics::Estimate cell.
+[[nodiscard]] std::string fmt_estimate(const metrics::Estimate& e,
+                                       int precision);
 
 }  // namespace mra::experiment

@@ -30,6 +30,7 @@ void Collector::on_grant(sim::SimTime t, SiteId site, RequestId /*seq*/,
   if (f.counted) {
     const double wait_ms = sim::to_ms(t - f.issued);
     waiting_.add(wait_ms);
+    waiting_sketch_.add(wait_ms);
     by_size_[bucket_of(rs.size())].add(wait_ms);
   }
 }
@@ -55,6 +56,7 @@ void Collector::on_release(sim::SimTime t, SiteId site, RequestId seq,
 void Collector::reset(sim::SimTime t) {
   usage_.reset(t);
   waiting_.reset();
+  waiting_sketch_.reset();
   for (auto& s : by_size_) s.reset();
   completed_ = 0;
   granted_count_ = 0;

@@ -50,6 +50,10 @@ class Collector {
   // Results -------------------------------------------------------------------
   [[nodiscard]] const UsageTracker& usage() const { return usage_; }
   [[nodiscard]] const RunningStats& waiting() const { return waiting_; }
+  /// Tail quantiles of the waiting time (ms), mergeable across runs.
+  [[nodiscard]] const QuantileSketch& waiting_sketch() const {
+    return waiting_sketch_;
+  }
   /// Waiting stats for requests of size s, bucketed by
   /// bucket = (s - 1) * buckets / max_size; caller fixes max_size.
   [[nodiscard]] const std::vector<RunningStats>& waiting_by_size() const {
@@ -73,6 +77,7 @@ class Collector {
 
   UsageTracker usage_;
   RunningStats waiting_;
+  QuantileSketch waiting_sketch_;
   std::vector<RunningStats> by_size_;
   std::size_t max_size_ = 1;
   std::uint64_t completed_ = 0;

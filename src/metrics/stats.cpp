@@ -1,6 +1,7 @@
 #include "metrics/stats.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
@@ -41,6 +42,10 @@ void RunningStats::merge(const RunningStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
     : lo_(lo), hi_(hi), counts_(buckets, 0) {
   if (buckets == 0 || !(hi > lo)) {
@@ -49,12 +54,27 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
 }
 
 void Histogram::add(double x) {
-  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
-  auto idx = static_cast<std::int64_t>((x - lo_) / width);
-  idx = std::clamp<std::int64_t>(idx, 0,
-                                 static_cast<std::int64_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
+  if (!std::isfinite(x)) {
+    // Casting NaN/±inf to an integer is UB; they must never reach an index.
+    ++nonfinite_;
+    return;
+  }
   ++total_;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::size_t>((x - lo_) / width);
+  // x just below hi_ can round up to counts_.size() in the division.
+  if (idx >= counts_.size()) idx = counts_.size() - 1;
+  ++counts_[idx];
 }
 
 double Histogram::bucket_low(std::size_t i) const {
@@ -63,16 +83,202 @@ double Histogram::bucket_low(std::size_t i) const {
 }
 
 double Histogram::percentile(double p) const {
+  if (!(p >= 0.0 && p <= 100.0)) {
+    throw std::invalid_argument("Histogram::percentile: p outside [0, 100]");
+  }
   if (total_ == 0) return 0.0;
-  const auto target = static_cast<std::uint64_t>(
+  if (p <= 0.0) return min_;
+  if (p >= 100.0) return max_;
+  auto target = static_cast<std::uint64_t>(
       std::ceil(p / 100.0 * static_cast<double>(total_)));
-  std::uint64_t seen = 0;
+  target = std::clamp<std::uint64_t>(target, 1, total_);
+
+  std::uint64_t seen = underflow_;
+  if (target <= seen) return min_;
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
   for (std::size_t i = 0; i < counts_.size(); ++i) {
-    seen += counts_[i];
-    if (seen >= target) return bucket_low(i) + width;
+    const std::uint64_t c = counts_[i];
+    if (c != 0 && target <= seen + c) {
+      // Interpolate by rank within the bucket: the r-th of c samples sits at
+      // fraction r/c of the bucket, so low ranks answer near the lower edge
+      // instead of every rank answering the upper edge.
+      const double frac = static_cast<double>(target - seen) /
+                          static_cast<double>(c);
+      const double v = bucket_low(i) + width * frac;
+      return std::clamp(v, min_, max_);
+    }
+    seen += c;
   }
-  return hi_;
+  return max_;  // rank lands in the overflow region
+}
+
+// ---------------------------------------------------------------------------
+// QuantileSketch
+// ---------------------------------------------------------------------------
+
+QuantileSketch::QuantileSketch(double alpha) : alpha_(alpha) {
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    throw std::invalid_argument("QuantileSketch: alpha must be in (0, 1)");
+  }
+  gamma_ = (1.0 + alpha) / (1.0 - alpha);
+  log_gamma_ = std::log(gamma_);
+  // Log bucket j covers (gamma^(j-1), gamma^j]; span every j that a
+  // trackable value can map to.
+  const auto j_min =
+      static_cast<std::int32_t>(std::floor(std::log(kMinTrackable) / log_gamma_));
+  const auto j_max =
+      static_cast<std::int32_t>(std::ceil(std::log(kMaxTrackable) / log_gamma_));
+  index_offset_ = j_min;
+  num_buckets_ = static_cast<std::size_t>(j_max - j_min + 1);
+}
+
+std::size_t QuantileSketch::bucket_index(double x) const {
+  // Precondition: kMinTrackable < x <= kMaxTrackable.
+  const auto j =
+      static_cast<std::int32_t>(std::ceil(std::log(x) / log_gamma_));
+  const std::int32_t rel = j - index_offset_;
+  const auto clamped = std::clamp<std::int32_t>(
+      rel, 0, static_cast<std::int32_t>(num_buckets_) - 1);
+  return 1 + static_cast<std::size_t>(clamped);
+}
+
+double QuantileSketch::bucket_low(std::size_t idx) const {
+  // idx >= 1: log bucket (gamma^(j-1), gamma^j] with j = offset + idx - 1.
+  return std::exp(static_cast<double>(index_offset_ +
+                                      static_cast<std::int32_t>(idx) - 2) *
+                  log_gamma_);
+}
+
+double QuantileSketch::bucket_high(std::size_t idx) const {
+  return std::exp(static_cast<double>(index_offset_ +
+                                      static_cast<std::int32_t>(idx) - 1) *
+                  log_gamma_);
+}
+
+void QuantileSketch::add(double x) {
+  if (!std::isfinite(x)) {
+    ++nonfinite_;  // never cast to an index: that cast is UB
+    return;
+  }
+  if (counts_.empty()) counts_.assign(1 + num_buckets_, 0);
+  ++count_;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  if (x < 0.0) {
+    ++underflow_;
+  } else if (x <= kMinTrackable) {
+    ++counts_[0];
+  } else if (x > kMaxTrackable) {
+    ++overflow_;
+  } else {
+    ++counts_[bucket_index(x)];
+  }
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (alpha_ != other.alpha_) {
+    throw std::invalid_argument(
+        "QuantileSketch::merge: mismatched relative-accuracy parameters");
+  }
+  nonfinite_ += other.nonfinite_;
+  if (other.count_ == 0) return;
+  if (counts_.empty()) counts_.assign(1 + num_buckets_, 0);
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double QuantileSketch::percentile(double p) const {
+  if (!(p >= 0.0 && p <= 100.0)) {
+    throw std::invalid_argument(
+        "QuantileSketch::percentile: p outside [0, 100]");
+  }
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return min_;
+  if (p >= 100.0) return max_;
+  auto target = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  target = std::clamp<std::uint64_t>(target, 1, count_);
+
+  std::uint64_t seen = underflow_;
+  if (target <= seen) return min_;
+  seen += counts_[0];
+  if (target <= seen) return std::clamp(0.0, min_, max_);
+  for (std::size_t i = 1; i < counts_.size(); ++i) {
+    const std::uint64_t c = counts_[i];
+    if (c != 0 && target <= seen + c) {
+      const double frac = static_cast<double>(target - seen) /
+                          static_cast<double>(c);
+      const double lo = bucket_low(i);
+      const double v = lo + (bucket_high(i) - lo) * frac;
+      return std::clamp(v, min_, max_);
+    }
+    seen += c;
+  }
+  return max_;  // rank lands in the overflow region
+}
+
+void QuantileSketch::reset() {
+  counts_.clear();
+  count_ = 0;
+  underflow_ = 0;
+  overflow_ = 0;
+  nonfinite_ = 0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+// ---------------------------------------------------------------------------
+// Student-t confidence intervals
+// ---------------------------------------------------------------------------
+
+double student_t95(std::uint64_t df) {
+  if (df == 0) {
+    throw std::invalid_argument("student_t95: df must be >= 1");
+  }
+  // t_{0.975, df}, exact through df = 30.
+  static constexpr std::array<double, 30> kTable = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df <= kTable.size()) return kTable[df - 1];
+  // Above 30, interpolate linearly in 1/df between tabulated anchors — the
+  // textbook approximation; error < 1e-3 everywhere.
+  struct Anchor {
+    double df;
+    double t;
+  };
+  static constexpr std::array<Anchor, 4> kAnchors = {
+      Anchor{40.0, 2.021}, Anchor{60.0, 2.000}, Anchor{120.0, 1.980},
+      Anchor{std::numeric_limits<double>::infinity(), 1.960}};
+  double prev_df = 30.0;
+  double prev_t = kTable.back();
+  const auto x = static_cast<double>(df);
+  for (const Anchor& a : kAnchors) {
+    if (x <= a.df) {
+      const double w =
+          (1.0 / prev_df - 1.0 / x) / (1.0 / prev_df - 1.0 / a.df);
+      return prev_t + w * (a.t - prev_t);
+    }
+    prev_df = a.df;
+    prev_t = a.t;
+  }
+  return 1.960;  // unreachable: the last anchor is at infinity
+}
+
+Estimate mean_ci95(const RunningStats& per_rep) {
+  Estimate e;
+  e.mean = per_rep.mean();
+  const std::uint64_t n = per_rep.count();
+  if (n < 2) return e;  // ci95_half stays NaN: no interval from one point
+  e.ci95_half = student_t95(n - 1) * per_rep.stddev() /
+                std::sqrt(static_cast<double>(n));
+  return e;
 }
 
 }  // namespace mra::metrics

@@ -1,7 +1,11 @@
 // Metrics: streaming stats, histogram, exact use-rate integration, collector.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
+#include <limits>
+#include <vector>
 
 #include "metrics/collector.hpp"
 #include "metrics/stats.hpp"
@@ -63,21 +67,211 @@ TEST(Histogram, BucketsAndPercentiles) {
   for (int i = 0; i < 100; ++i) h.add(i + 0.5);
   EXPECT_EQ(h.total(), 100u);
   for (std::size_t b = 0; b < 10; ++b) EXPECT_EQ(h.bucket_count(b), 10u);
-  EXPECT_NEAR(h.percentile(50), 50.0, 10.0);
-  EXPECT_NEAR(h.percentile(99), 100.0, 10.0);
+  // Interpolated percentiles track the exact sorted-vector quantiles to
+  // within one within-bucket sample spacing, not a full bucket width.
+  EXPECT_NEAR(h.percentile(50), 49.5, 1.0);
+  EXPECT_NEAR(h.percentile(99), 98.5, 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 0.5);     // exact min
+  EXPECT_DOUBLE_EQ(h.percentile(100), 99.5);  // exact max
 }
 
-TEST(Histogram, ClampsOutOfRange) {
+TEST(Histogram, PercentileNotBucketUpperEdge) {
+  // The old implementation returned the bucket's upper edge for every rank
+  // in it: 100 samples of 1.0 in [0, 10) x 1 bucket answered 10.0 for p50 —
+  // a 10x bias. The interpolated version stays inside the observed range.
+  Histogram h(0.0, 10.0, 1);
+  for (int i = 0; i < 100; ++i) h.add(1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 1.0);
+}
+
+TEST(Histogram, OutOfRangeCountsAsUnderOverflow) {
   Histogram h(0.0, 10.0, 5);
   h.add(-100.0);
   h.add(1e9);
-  EXPECT_EQ(h.bucket_count(0), 1u);
-  EXPECT_EQ(h.bucket_count(4), 1u);
+  h.add(5.0);
+  // Outliers are tracked, not clamped into the edge buckets.
+  EXPECT_EQ(h.bucket_count(0), 0u);
+  EXPECT_EQ(h.bucket_count(4), 0u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 3u);
+  // Side-correct tails: under/overflow ranks answer the exact extrema.
+  EXPECT_DOUBLE_EQ(h.percentile(0), -100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 1e9);
+  EXPECT_DOUBLE_EQ(h.percentile(1), -100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 1e9);
+}
+
+TEST(Histogram, NonFiniteRejectedNotIndexed) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.nonfinite(), 3u);
+  for (std::size_t b = 0; b < 5; ++b) EXPECT_EQ(h.bucket_count(b), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);  // still empty
+}
+
+TEST(Histogram, PercentileOutOfDomainThrows) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);
+  EXPECT_THROW((void)h.percentile(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)h.percentile(100.5), std::invalid_argument);
 }
 
 TEST(Histogram, InvalidConstructionThrows) {
   EXPECT_THROW(Histogram(0.0, 0.0, 5), std::invalid_argument);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+// Exact p-th percentile of a sample vector, nearest-rank definition — the
+// same rank convention the sketch uses, so only the value quantization
+// (bucket width) separates estimate from truth.
+double exact_percentile(std::vector<double> v, double p) {
+  std::sort(v.begin(), v.end());
+  if (v.empty()) return 0.0;
+  if (p <= 0.0) return v.front();
+  if (p >= 100.0) return v.back();
+  auto k = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(v.size())));
+  k = std::clamp<std::size_t>(k, 1, v.size());
+  return v[k - 1];
+}
+
+TEST(QuantileSketch, GoldenAgainstExactQuantiles) {
+  // The sketch guarantees the estimate lands in the sample's own log
+  // bucket: relative error < gamma - 1 = 2*alpha/(1-alpha).
+  const double alpha = 0.01;
+  const double bound = 2.0 * alpha / (1.0 - alpha);
+  sim::Rng rng(42);
+  struct Case {
+    const char* name;
+    std::function<double()> draw;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"uniform", [&]() { return rng.uniform_real(0.1, 100.0); }});
+  cases.push_back({"exponential", [&]() { return rng.exponential(5.0); }});
+  cases.push_back({"lognormal-ish", [&]() {
+                     return std::exp(rng.uniform_real(-3.0, 8.0));
+                   }});
+  for (const auto& c : cases) {
+    QuantileSketch sketch(alpha);
+    std::vector<double> samples;
+    for (int i = 0; i < 20000; ++i) {
+      const double x = c.draw();
+      samples.push_back(x);
+      sketch.add(x);
+    }
+    for (double p : {0.0, 1.0, 25.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0}) {
+      const double exact = exact_percentile(samples, p);
+      const double est = sketch.percentile(p);
+      EXPECT_NEAR(est, exact, bound * exact + 1e-12)
+          << c.name << " p" << p;
+    }
+  }
+}
+
+TEST(QuantileSketch, SmallCountsAndConstants) {
+  QuantileSketch s;
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);  // empty
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 7.0);
+  QuantileSketch c;
+  for (int i = 0; i < 1000; ++i) c.add(3.5);
+  // A constant stream answers the constant exactly at every p (min/max
+  // clamping, not bucket edges).
+  EXPECT_DOUBLE_EQ(c.percentile(1), 3.5);
+  EXPECT_DOUBLE_EQ(c.percentile(99), 3.5);
+}
+
+TEST(QuantileSketch, ZeroNegativeAndOverflowSamples) {
+  QuantileSketch s;
+  s.add(0.0);
+  s.add(-5.0);
+  s.add(2e12);  // above kMaxTrackable
+  s.add(1.0);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_EQ(s.underflow(), 1u);
+  EXPECT_EQ(s.overflow(), 1u);
+  EXPECT_DOUBLE_EQ(s.percentile(0), -5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 2e12);
+  EXPECT_DOUBLE_EQ(s.min(), -5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 2e12);
+}
+
+TEST(QuantileSketch, NonFiniteRejectedNotIndexed) {
+  QuantileSketch s;
+  s.add(std::numeric_limits<double>::quiet_NaN());
+  s.add(std::numeric_limits<double>::infinity());
+  s.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.nonfinite(), 3u);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 0.0);
+  s.add(1.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 1.0);
+}
+
+TEST(QuantileSketch, MergeBitMatchesConcatenatedStream) {
+  sim::Rng rng(7);
+  QuantileSketch whole;
+  std::vector<QuantileSketch> parts(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.exponential(2.0);
+    whole.add(x);
+    parts[static_cast<std::size_t>(i % 4)].add(x);
+  }
+  // Merge in a deliberately scrambled order: bucket counts are integers, so
+  // any merge order answers bit-identically to the single stream.
+  QuantileSketch merged;
+  for (std::size_t i : {2u, 0u, 3u, 1u}) merged.merge(parts[i]);
+  EXPECT_EQ(merged.count(), whole.count());
+  for (double p : {0.0, 10.0, 50.0, 95.0, 99.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(merged.percentile(p), whole.percentile(p)) << "p" << p;
+  }
+}
+
+TEST(QuantileSketch, MergeRejectsMismatchedAccuracy) {
+  QuantileSketch a(0.01);
+  QuantileSketch b(0.02);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(StudentT, GoldenCriticalValues) {
+  EXPECT_NEAR(student_t95(1), 12.706, 1e-9);
+  EXPECT_NEAR(student_t95(4), 2.776, 1e-9);
+  EXPECT_NEAR(student_t95(30), 2.042, 1e-9);
+  EXPECT_NEAR(student_t95(40), 2.021, 1e-3);
+  EXPECT_NEAR(student_t95(1000), 1.962, 5e-3);
+  EXPECT_THROW((void)student_t95(0), std::invalid_argument);
+  for (std::uint64_t df = 1; df < 200; ++df) {
+    EXPECT_GE(student_t95(df), student_t95(df + 1)) << "df " << df;
+    EXPECT_GT(student_t95(df + 1), 1.959) << "df " << df;
+  }
+}
+
+TEST(StudentT, MeanCi95MatchesHandComputation) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  const Estimate e = mean_ci95(s);
+  EXPECT_DOUBLE_EQ(e.mean, 3.0);
+  // t_{0.975,4} * s / sqrt(n) = 2.776 * 1.58114 / 2.23607
+  EXPECT_NEAR(e.ci95_half, 1.9629, 1e-3);
+  EXPECT_NEAR(e.lo(), 3.0 - 1.9629, 1e-3);
+  EXPECT_NEAR(e.hi(), 3.0 + 1.9629, 1e-3);
+}
+
+TEST(StudentT, SingleObservationHasNoInterval) {
+  RunningStats s;
+  s.add(3.0);
+  const Estimate e = mean_ci95(s);
+  EXPECT_DOUBLE_EQ(e.mean, 3.0);
+  EXPECT_TRUE(std::isnan(e.ci95_half));
 }
 
 TEST(UsageTracker, ExactIntegration) {
