@@ -1,0 +1,352 @@
+// mra_explore — the adversarial schedule explorer CLI: seed-sweeps registry
+// scenarios (and the raw mutex substrates) under randomized latency
+// perturbation with the full conformance-oracle set attached, stops at the
+// first violation, and emits a minimized replayable `# mra-trace v1` repro
+// plus a JSON violation report.
+//
+// Examples:
+//   mra_explore --scenario paper-phi4 --algo all --seeds 10 --quick
+//   mra_explore --scenario all --algo lass-loan --seeds 50 --delay-bound-ms 5
+//   mra_explore --mutex all --seeds 10
+//   mra_explore --scenario zipf-hot --algo lass --trace-dir /tmp/repro
+//               --json report.json            (one command, wrapped)
+//
+// Exit status: 0 = no violation found, 1 = violation found, 2 = bad usage
+// or configuration error (unknown scenario/algorithm, unwritable output...).
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/explore.hpp"
+#include "check/mutant.hpp"
+#include "check/violation.hpp"
+#include "core/cli.hpp"
+#include "experiment/json.hpp"
+#include "scenario/registry.hpp"
+
+using namespace mra;
+using cli::flag_value;
+
+namespace {
+
+struct Options {
+  std::vector<std::string> scenarios;  // empty = all
+  std::vector<std::string> algos;      // empty = all
+  std::vector<std::string> mutexes;    // empty = none; "all" = nt+sk+ra
+  std::string replay_path;             // checked replay of a repro trace
+  std::uint64_t replay_seed = 1;
+  std::int64_t replay_delay_ns = 0;    // exact drawn bound of the found run
+  int seeds = 10;
+  std::uint64_t base_seed = 1;
+  double delay_bound_ms = 2.0;
+  double horizon_ms = 60'000.0;
+  double max_msgs_per_cs = 0.0;
+  bool quick = false;
+  bool keep_going = false;
+  std::string trace_dir;
+  std::string json_path;
+  std::string mutant;  // only meaningful in MRA_CHECK_MUTANTS builds
+};
+
+[[noreturn]] void usage(int code) {
+  std::cout <<
+      "mra_explore — adversarial schedule explorer with online conformance "
+      "oracles\n"
+      "\n"
+      "  --scenario NAME|all    registry scenario(s) to sweep (default all)\n"
+      "  --algo NAME|all        algorithm(s): incremental | bl | lass |\n"
+      "                         lass-loan | central | maddi (default all)\n"
+      "  --mutex nt|sk|ra|all   also sweep raw mutex substrate(s)\n"
+      "  --mutex-only ...       sweep only the mutex substrate(s)\n"
+      "  --replay PATH          checked replay of a repro trace (full oracle\n"
+      "                         set; needs exactly one --algo; exits 1 when\n"
+      "                         the violation re-triggers)\n"
+      "  --seed S               replay: network/protocol seed (default 1)\n"
+      "  --replay-delay-ns N    replay: exact per-message delay bound of the\n"
+      "                         found run (printed in the repro hint)\n"
+      "  --seeds N              seed budget per (scenario, algorithm)\n"
+      "                         (default 10)\n"
+      "  --base-seed S          first seed of the sweep (default 1)\n"
+      "  --delay-bound-ms D     max extra per-message delay drawn per run\n"
+      "                         (default 2.0; 0 disables perturbation)\n"
+      "  --horizon-ms H         bounded-waiting budget (default 60000)\n"
+      "  --max-msgs-per-cs X    message-complexity bound (default off)\n"
+      "  --quick                short scenario windows (CI-friendly)\n"
+      "  --keep-going           do not stop the sweep at the first bug\n"
+      "  --trace-dir PATH       save repro traces here (default: no traces)\n"
+      "  --json PATH            write the violation report as JSON\n"
+      "  --mutant NAME          activate a seeded bug (builds with\n"
+      "                         -DMRA_CHECK_MUTANTS=ON only)\n"
+      "\n"
+      "Flags also accept the --flag=value spelling.\n";
+  std::exit(code);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  bool mutex_only = false;
+  std::string v;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (flag_value(argc, argv, i, "--scenario", v)) {
+      o.scenarios.push_back(v);
+    } else if (flag_value(argc, argv, i, "--algo", v)) {
+      o.algos.push_back(v);
+    } else if (flag_value(argc, argv, i, "--mutex-only", v)) {
+      o.mutexes.push_back(v);
+      mutex_only = true;
+    } else if (flag_value(argc, argv, i, "--mutex", v)) {
+      o.mutexes.push_back(v);
+    } else if (flag_value(argc, argv, i, "--replay", v)) {
+      o.replay_path = v;
+    } else if (flag_value(argc, argv, i, "--seed", v)) {
+      o.replay_seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag_value(argc, argv, i, "--replay-delay-ns", v)) {
+      o.replay_delay_ns = std::strtoll(v.c_str(), nullptr, 10);
+    } else if (flag_value(argc, argv, i, "--seeds", v)) {
+      o.seeds = std::atoi(v.c_str());
+      if (o.seeds <= 0) usage(2);
+    } else if (flag_value(argc, argv, i, "--base-seed", v)) {
+      o.base_seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag_value(argc, argv, i, "--delay-bound-ms", v)) {
+      o.delay_bound_ms = std::atof(v.c_str());
+    } else if (flag_value(argc, argv, i, "--horizon-ms", v)) {
+      o.horizon_ms = std::atof(v.c_str());
+      if (o.horizon_ms <= 0) usage(2);
+    } else if (flag_value(argc, argv, i, "--max-msgs-per-cs", v)) {
+      o.max_msgs_per_cs = std::atof(v.c_str());
+    } else if (arg == "--quick") {
+      o.quick = true;
+    } else if (arg == "--keep-going") {
+      o.keep_going = true;
+    } else if (flag_value(argc, argv, i, "--trace-dir", v)) {
+      o.trace_dir = v;
+    } else if (flag_value(argc, argv, i, "--json", v)) {
+      o.json_path = v;
+    } else if (flag_value(argc, argv, i, "--mutant", v)) {
+      o.mutant = v;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage(2);
+    }
+  }
+  if (mutex_only) {
+    o.scenarios.clear();
+    o.algos.clear();
+    o.scenarios.push_back("__none__");
+  }
+  return o;
+}
+
+check::MonitorConfig monitor_from(const Options& o) {
+  check::MonitorConfig mc;
+  mc.starvation_horizon =
+      static_cast<sim::SimDuration>(o.horizon_ms * 1e6);
+  mc.max_messages_per_cs = o.max_msgs_per_cs;
+  return mc;
+}
+
+void print_report(const Options& o, const check::ExploreReport& report) {
+  std::cout << "runs: " << report.runs
+            << ", violating: " << report.violating_runs << "\n";
+  for (const check::FoundViolation& f : report.found) {
+    std::cout << "\nVIOLATION in " << f.scenario << " / " << f.algorithm
+              << " (seed " << f.seed << ", delay bound "
+              << sim::to_ms(f.delay_bound) << "ms)\n";
+    for (const check::Violation& v : f.violations) {
+      std::cout << "  [" << v.oracle << "] at " << sim::to_ms(v.at) << "ms: "
+                << v.detail << "\n";
+    }
+    if (!f.violations.empty() &&
+        !f.violations.front().recent_events.empty()) {
+      std::cout << "  last events:\n";
+      const auto& events = f.violations.front().recent_events;
+      const std::size_t show = events.size() > 8 ? 8 : events.size();
+      for (std::size_t i = events.size() - show; i < events.size(); ++i) {
+        std::cout << "    " << events[i] << "\n";
+      }
+    }
+    if (!f.trace_path.empty()) {
+      // A checked replay needs the perturbed network (and active mutant, if
+      // any) re-created, which only this tool can do — hence mra_explore
+      // --replay, not mra_scenarios --replay.
+      std::cout << "  repro trace: " << f.trace_path << " ("
+                << f.minimized_events << "/" << f.trace_events
+                << " events after minimization)\n"
+                << "  replay: mra_explore --replay " << f.trace_path
+                << " --algo " << f.algorithm << " --seed " << f.seed
+                << " --replay-delay-ns " << f.delay_bound;
+      if (check::active_mutant() != check::Mutant::kNone) {
+        std::cout << " --mutant " << check::to_string(check::active_mutant());
+      }
+      std::cout << "\n";
+    } else {
+      // The perturbation draw is a function of (run seed, case, bound), so
+      // this exact invocation re-creates the violating run bit for bit.
+      std::cout << "  repro: rerun this case with --base-seed " << f.seed
+                << " --seeds 1 --delay-bound-ms " << o.delay_bound_ms
+                << (o.quick ? " --quick" : "") << " (deterministic)\n";
+    }
+  }
+}
+
+void write_report_json(const std::string& path, const Options& o,
+                       const check::ExploreReport& report) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("cannot open " + path + " for writing");
+  }
+  os << "{\n  \"tool\": \"mra_explore\",\n";
+  os << "  \"seeds_per_case\": " << o.seeds << ",\n";
+  os << "  \"base_seed\": " << o.base_seed << ",\n";
+  os << "  \"delay_bound_ms\": " << o.delay_bound_ms << ",\n";
+  os << "  \"runs\": " << report.runs << ",\n";
+  os << "  \"violating_runs\": " << report.violating_runs << ",\n";
+  os << "  \"found\": [";
+  for (std::size_t i = 0; i < report.found.size(); ++i) {
+    const check::FoundViolation& f = report.found[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\n";
+    os << "      \"scenario\": \"" << experiment::json_escape(f.scenario)
+       << "\",\n";
+    os << "      \"algorithm\": \"" << experiment::json_escape(f.algorithm)
+       << "\",\n";
+    os << "      \"seed\": " << f.seed << ",\n";
+    os << "      \"delay_bound_ns\": " << f.delay_bound << ",\n";
+    os << "      \"trace\": \"" << experiment::json_escape(f.trace_path)
+       << "\",\n";
+    os << "      \"trace_events\": " << f.trace_events << ",\n";
+    os << "      \"minimized_events\": " << f.minimized_events << ",\n";
+    os << "      \"replay_reproduces\": "
+       << (f.replay_reproduces ? "true" : "false") << ",\n";
+    os << "      \"violations\": ";
+    check::write_violations_json(os, f.violations, 6);
+    os << "\n    }";
+  }
+  if (!report.found.empty()) os << "\n  ";
+  os << "]\n}\n";
+  std::cout << "(json: " << path << ")\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  try {
+    if (!o.mutant.empty()) {
+      if (!check::mutants_compiled_in()) {
+        std::cerr << "--mutant requires a build with -DMRA_CHECK_MUTANTS=ON\n";
+        return 2;
+      }
+      const check::Mutant m = check::mutant_from_name(o.mutant.c_str());
+      if (m == check::Mutant::kNone) {
+        std::cerr << "unknown mutant \"" << o.mutant << "\"\n";
+        return 2;
+      }
+      check::set_active_mutant(m);
+      std::cout << "mutant active: " << check::to_string(m) << "\n";
+    }
+
+    if (!o.trace_dir.empty()) {
+      std::filesystem::create_directories(o.trace_dir);
+    }
+
+    const check::MonitorConfig mc = monitor_from(o);
+
+    if (!o.replay_path.empty()) {
+      if (o.algos.size() != 1 || o.algos[0] == "all") {
+        std::cerr << "--replay needs exactly one --algo\n";
+        return 2;
+      }
+      const scenario::RequestTrace trace =
+          scenario::load_trace(o.replay_path);
+      const std::vector<check::Violation> violations = check::check_replay(
+          trace, algo::algorithm_from_name(o.algos[0]), mc, o.replay_seed,
+          o.replay_delay_ns);
+      std::cout << "replayed " << trace.events.size() << " events: "
+                << violations.size() << " violation(s)\n";
+      for (const check::Violation& v : violations) {
+        std::cout << "  [" << v.oracle << "] at " << sim::to_ms(v.at)
+                  << "ms: " << v.detail << "\n";
+      }
+      return violations.empty() ? 0 : 1;
+    }
+
+    check::ExploreReport total;
+
+    const bool scenario_mode =
+        o.scenarios.empty() || o.scenarios[0] != "__none__";
+    if (scenario_mode) {
+      check::ExploreConfig cfg;
+      cfg.monitor = mc;
+      cfg.seeds_per_case = o.seeds;
+      cfg.base_seed = o.base_seed;
+      cfg.delay_bound =
+          static_cast<sim::SimDuration>(o.delay_bound_ms * 1e6);
+      cfg.stop_on_first = !o.keep_going;
+      cfg.trace_dir = o.trace_dir;
+      if (o.scenarios.empty() ||
+          (o.scenarios.size() == 1 && o.scenarios[0] == "all")) {
+        cfg.scenarios = scenario::registry();
+      } else {
+        for (const std::string& name : o.scenarios) {
+          cfg.scenarios.push_back(scenario::find_scenario(name));
+        }
+      }
+      if (o.quick) {
+        for (scenario::ScenarioSpec& s : cfg.scenarios) {
+          s.warmup = sim::from_ms(200);
+          s.measure = sim::from_ms(800);
+        }
+      }
+      if (o.algos.empty() ||
+          (o.algos.size() == 1 && o.algos[0] == "all")) {
+        cfg.algorithms = algo::all_algorithms();
+      } else {
+        for (const std::string& name : o.algos) {
+          cfg.algorithms.push_back(algo::algorithm_from_name(name));
+        }
+      }
+      total = check::explore(cfg);
+    }
+
+    if (!o.mutexes.empty() &&
+        (total.found.empty() || o.keep_going)) {
+      check::MutexExploreConfig mcfg;
+      mcfg.monitor = mc;
+      mcfg.seeds_per_case = o.seeds;
+      mcfg.base_seed = o.base_seed;
+      mcfg.delay_bound =
+          static_cast<sim::SimDuration>(o.delay_bound_ms * 1e6);
+      mcfg.stop_on_first = !o.keep_going;
+      if (o.mutexes.size() == 1 && o.mutexes[0] == "all") {
+        mcfg.protocols = check::all_mutex_protocols();
+      } else {
+        for (const std::string& name : o.mutexes) {
+          mcfg.protocols.push_back(check::mutex_protocol_from_name(name));
+        }
+      }
+      const check::ExploreReport mutex_report = check::explore_mutex(mcfg);
+      total.runs += mutex_report.runs;
+      total.violating_runs += mutex_report.violating_runs;
+      for (const check::FoundViolation& f : mutex_report.found) {
+        total.found.push_back(f);
+      }
+    }
+
+    print_report(o, total);
+    if (!o.json_path.empty()) write_report_json(o.json_path, o, total);
+    return total.found.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    // Exit 1 is reserved for "violation found": a config error (unknown
+    // scenario name, bad trace dir) must not read as a detected bug.
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -38,7 +38,7 @@ void BouabdallahLaforestNode::on_start() {
   }
 }
 
-void BouabdallahLaforestNode::request(const ResourceSet& resources) {
+void BouabdallahLaforestNode::do_request(const ResourceSet& resources) {
   assert(state_ == ProcessState::kIdle && "request while not idle");
   assert(!resources.empty());
   ++request_seq_;
@@ -95,7 +95,7 @@ void BouabdallahLaforestNode::maybe_enter_cs() {
   }
 }
 
-void BouabdallahLaforestNode::release() {
+void BouabdallahLaforestNode::do_release() {
   assert(state_ == ProcessState::kInCS && "release outside CS");
   state_ = ProcessState::kIdle;
   registered_ = false;

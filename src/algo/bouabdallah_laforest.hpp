@@ -76,8 +76,8 @@ class BouabdallahLaforestNode final : public AllocatorNode {
   explicit BouabdallahLaforestNode(const BouabdallahLaforestConfig& config,
                                    Trace* trace = nullptr);
 
-  void request(const ResourceSet& resources) override;
-  void release() override;
+  void do_request(const ResourceSet& resources) override;
+  void do_release() override;
   [[nodiscard]] ProcessState state() const override { return state_; }
 
   void on_start() override;

@@ -50,7 +50,7 @@ CentralNode::CentralNode(const CentralConfig& config,
   current_ = ResourceSet(config.num_resources);
 }
 
-void CentralNode::request(const ResourceSet& resources) {
+void CentralNode::do_request(const ResourceSet& resources) {
   assert(state_ == ProcessState::kIdle && "request while not idle");
   assert(!resources.empty());
   ++request_seq_;
@@ -65,7 +65,7 @@ void CentralNode::granted() {
   notify_granted();
 }
 
-void CentralNode::release() {
+void CentralNode::do_release() {
   assert(state_ == ProcessState::kInCS && "release outside CS");
   state_ = ProcessState::kIdle;
   coordinator_.release(*this, current_);

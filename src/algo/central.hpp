@@ -60,8 +60,8 @@ class CentralNode final : public AllocatorNode {
  public:
   CentralNode(const CentralConfig& config, CentralCoordinator& coordinator);
 
-  void request(const ResourceSet& resources) override;
-  void release() override;
+  void do_request(const ResourceSet& resources) override;
+  void do_release() override;
   [[nodiscard]] ProcessState state() const override { return state_; }
 
   void on_message(SiteId from, const net::Message& msg) override;

@@ -66,7 +66,7 @@ bool ChandyMisraNode::all_bottles_held() const {
   return all;
 }
 
-void ChandyMisraNode::request(const ResourceSet& resources) {
+void ChandyMisraNode::do_request(const ResourceSet& resources) {
   assert(state_ == ProcessState::kIdle && "request while not idle");
   assert(!resources.empty());
   resources.for_each([&](ResourceId r) {
@@ -136,7 +136,7 @@ void ChandyMisraNode::complete_bottle_phase() {
   notify_granted();
 }
 
-void ChandyMisraNode::release() {
+void ChandyMisraNode::do_release() {
   assert(state_ == ProcessState::kInCS && "release outside CS");
   state_ = ProcessState::kIdle;
   phase_ = Phase::kIdle;

@@ -63,8 +63,8 @@ class ChandyMisraNode final : public AllocatorNode {
                            Trace* trace = nullptr);
 
   /// `resources` must all be incident to this site.
-  void request(const ResourceSet& resources) override;
-  void release() override;
+  void do_request(const ResourceSet& resources) override;
+  void do_release() override;
   [[nodiscard]] ProcessState state() const override { return state_; }
 
   void on_start() override;

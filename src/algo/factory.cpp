@@ -66,6 +66,9 @@ AllocationSystem::AllocationSystem(const SystemConfig& config) : cfg_(config) {
     latency = net::make_hierarchical_latency(
         cluster_size, config.network_latency,
         config.hierarchical_remote_latency);
+  } else if (config.latency_delay_bound > 0) {
+    latency = net::make_bounded_delay_latency(config.network_latency,
+                                              config.latency_delay_bound);
   } else if (config.latency_jitter > 0.0) {
     latency = net::make_uniform_jitter_latency(config.network_latency,
                                                config.latency_jitter);

@@ -46,6 +46,13 @@ struct SystemConfig {
   sim::SimDuration network_latency = sim::from_ms(0.6);
   double latency_jitter = 0.0;  ///< fraction, e.g. 0.1 = ±10%
 
+  /// Adversarial perturbation (src/check/explore.*): when > 0, every message
+  /// gets an extra uniform delay in [0, bound] on top of network_latency —
+  /// delay-bounded cross-link reordering within the FIFO-per-link contract.
+  /// Takes precedence over latency_jitter; ignored on hierarchical
+  /// topologies.
+  sim::SimDuration latency_delay_bound = 0;
+
   /// Two-level topology (the paper's §6 future-work target). When
   /// hierarchical_clusters > 1, sites are split into equal clusters;
   /// intra-cluster messages cost network_latency, inter-cluster messages

@@ -1,8 +1,10 @@
 #include "algo/incremental.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
+#include "check/mutant.hpp"
 #include "net/network.hpp"
 
 namespace mra::algo {
@@ -29,13 +31,20 @@ void IncrementalNode::on_start() {
   }
 }
 
-void IncrementalNode::request(const ResourceSet& resources) {
+void IncrementalNode::do_request(const ResourceSet& resources) {
   assert(state_ == ProcessState::kIdle && "request while not idle");
   assert(!resources.empty());
   ++request_seq_;
   current_ = resources;
   state_ = ProcessState::kWaitCS;
   plan_ = resources.to_vector();  // ascending ids = the global total order
+  if (check::mutant_enabled(check::Mutant::kIncrementalReversedAcquire) &&
+      (id() & 1) != 0) {
+    // Seeded bug: odd sites acquire in descending order, breaking the global
+    // total order -> a genuine AB/BA wait-for cycle the deadlock oracle must
+    // detect online.
+    std::reverse(plan_.begin(), plan_.end());
+  }
   next_index_ = 0;
   acquired_.clear();
   if (trace_ != nullptr && trace_->enabled()) {
@@ -56,6 +65,9 @@ void IncrementalNode::acquire_next() {
 void IncrementalNode::on_lock_granted(ResourceId r) {
   assert(state_ == ProcessState::kWaitCS);
   assert(next_index_ < plan_.size() && plan_[next_index_] == r);
+  // Per-resource custody is exclusive from here until do_release(): surface
+  // it to the conformance observer so hold-and-wait states are checkable.
+  observe_hold(r);
   acquired_.push_back(r);
   ++next_index_;
   if (next_index_ < plan_.size()) {
@@ -70,7 +82,7 @@ void IncrementalNode::on_lock_granted(ResourceId r) {
   }
 }
 
-void IncrementalNode::release() {
+void IncrementalNode::do_release() {
   assert(state_ == ProcessState::kInCS && "release outside CS");
   state_ = ProcessState::kIdle;
   for (ResourceId r : acquired_) {

@@ -28,8 +28,8 @@ class IncrementalNode final : public AllocatorNode {
   explicit IncrementalNode(const IncrementalConfig& config,
                            Trace* trace = nullptr);
 
-  void request(const ResourceSet& resources) override;
-  void release() override;
+  void do_request(const ResourceSet& resources) override;
+  void do_release() override;
   [[nodiscard]] ProcessState state() const override { return state_; }
 
   void on_start() override;

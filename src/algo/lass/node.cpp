@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "check/mutant.hpp"
 #include "net/network.hpp"
 
 namespace mra::algo::lass {
@@ -68,7 +69,7 @@ bool LassNode::is_obsolete(const ReqItem& req) const {
 // ---------------------------------------------------------------------------
 // Request_CS (Annex A, lines 68-84)
 // ---------------------------------------------------------------------------
-void LassNode::request(const ResourceSet& resources) {
+void LassNode::do_request(const ResourceSet& resources) {
   assert(state_ == ProcessState::kIdle && "request while not idle");
   assert(!resources.empty() && "empty resource request");
   ++request_seq_;
@@ -113,7 +114,7 @@ void LassNode::request(const ResourceSet& resources) {
 // ---------------------------------------------------------------------------
 // Release_CS (Annex A, lines 85-101)
 // ---------------------------------------------------------------------------
-void LassNode::release() {
+void LassNode::do_release() {
   assert(state_ == ProcessState::kInCS && "release outside CS");
   trace("Release_CS " + t_required_.to_string());
   state_ = ProcessState::kIdle;
@@ -131,6 +132,11 @@ void LassNode::release() {
       t.lender = kNoSite;
       send_token(lender, r);
     } else if (!t.wqueue.empty()) {
+      if (check::mutant_enabled(check::Mutant::kLassDropRelease)) {
+        // Seeded bug: keep the token instead of serving the queue — the
+        // queued requester starves (deadlock/starvation oracles).
+        return;
+      }
       t.lender = kNoSite;
       const ReqItem head = t.wqueue.pop_head();
       send_token(head.sinit, r);
@@ -145,7 +151,8 @@ void LassNode::release() {
 }
 
 void LassNode::enter_cs() {
-  assert(t_required_.subset_of(t_owned_));
+  assert(t_required_.subset_of(t_owned_) ||
+         check::mutant_enabled(check::Mutant::kLassPrematureEntry));
   state_ = ProcessState::kInCS;
   bool via_loan = false;
   t_required_.for_each([&](ResourceId r) {
@@ -285,7 +292,11 @@ void LassNode::process_update(const LassToken& t) {
 CounterValue LassNode::assign_counter(const ReqItem& req) {
   LassToken& t = tok(req.r);
   t.last_req_cnt[static_cast<std::size_t>(req.sinit)] = req.id;
-  buffer_counter(req.sinit, req.r, t.counter);
+  if (!check::mutant_enabled(check::Mutant::kLassSkipCounterReply)) {
+    // Seeded bug (when skipped): the counter-update reply never leaves, so
+    // the requester waits in waitS forever (deadlock/starvation oracles).
+    buffer_counter(req.sinit, req.r, t.counter);
+  }
   return t.counter++;
 }
 
@@ -489,7 +500,12 @@ void LassNode::on_message(SiteId from, const net::Message& msg) {
     for (const LassToken& t : toks->items) process_update(t);
 
     if (state_ == ProcessState::kWaitS || state_ == ProcessState::kWaitCS) {
-      if (t_required_.subset_of(t_owned_)) {
+      const bool premature =
+          check::mutant_enabled(check::Mutant::kLassPrematureEntry) &&
+          t_owned_.intersects(t_required_);
+      if (t_required_.subset_of(t_owned_) || premature) {
+        // Seeded bug (`premature`): enter the CS as soon as one required
+        // token arrived — the mutual-exclusion oracle must flag the overlap.
         enter_cs();
       } else {
         // Failed loan: give borrowed tokens back immediately (lines 216-223).

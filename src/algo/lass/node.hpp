@@ -51,8 +51,8 @@ class LassNode final : public AllocatorNode {
   LassNode(const LassConfig& config, Trace* trace = nullptr);
 
   // AllocatorNode interface -------------------------------------------------
-  void request(const ResourceSet& resources) override;
-  void release() override;
+  void do_request(const ResourceSet& resources) override;
+  void do_release() override;
   [[nodiscard]] ProcessState state() const override { return state_; }
 
   void on_start() override;

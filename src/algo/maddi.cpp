@@ -49,7 +49,7 @@ void MaddiNode::insert_pending(ResourceId r, Pending p) {
               p);
 }
 
-void MaddiNode::request(const ResourceSet& resources) {
+void MaddiNode::do_request(const ResourceSet& resources) {
   assert(state_ == ProcessState::kIdle && "request while not idle");
   assert(!resources.empty());
   ++request_seq_;
@@ -114,7 +114,7 @@ void MaddiNode::consider_grant(ResourceId r) {
   network_->send(id(), head.site, std::move(msg));
 }
 
-void MaddiNode::release() {
+void MaddiNode::do_release() {
   assert(state_ == ProcessState::kInCS && "release outside CS");
   state_ = ProcessState::kIdle;
   current_.for_each([&](ResourceId r) {

@@ -69,8 +69,8 @@ class MaddiNode final : public AllocatorNode {
  public:
   explicit MaddiNode(const MaddiConfig& config, Trace* trace = nullptr);
 
-  void request(const ResourceSet& resources) override;
-  void release() override;
+  void do_request(const ResourceSet& resources) override;
+  void do_release() override;
   [[nodiscard]] ProcessState state() const override { return state_; }
 
   void on_start() override;

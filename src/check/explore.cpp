@@ -1,0 +1,503 @@
+#include "check/explore.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "mutex/naimi_trehel.hpp"
+#include "mutex/ricart_agrawala.hpp"
+#include "mutex/suzuki_kasami.hpp"
+#include "net/latency.hpp"
+#include "net/network.hpp"
+#include "scenario/runner.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace mra::check {
+
+namespace {
+
+Violation livelock_violation(sim::SimTime at, std::uint64_t budget) {
+  Violation v;
+  v.oracle = "livelock";
+  v.at = at;
+  v.detail = "simulation exceeded its event budget of " +
+             std::to_string(budget) + " events without quiescing";
+  return v;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// run_checked_scenario
+// ---------------------------------------------------------------------------
+
+CheckedRun run_checked_scenario(const scenario::ScenarioSpec& spec,
+                                algo::Algorithm algorithm,
+                                const CheckOptions& options) {
+  scenario::ScenarioSpec s = spec;
+  s.system.algorithm = algorithm;
+  s.validate();
+
+  CheckedRun out;
+  auto system = algo::AllocationSystem::create(s.system);
+  system->start();
+
+  MonitorConfig mc = options.monitor;
+  mc.num_sites = s.system.num_sites;
+  mc.num_resources = s.system.num_resources;
+  Monitor monitor(mc);
+  monitor.attach(*system);
+
+  scenario::ScenarioRunner runner(*system, s,
+                                  s.system.seed ^ 0x9E3779B97F4A7C15ULL,
+                                  /*size_buckets=*/6,
+                                  options.record_trace ? &out.trace : nullptr);
+
+  auto& sim = system->simulator();
+  sim.set_event_budget(options.event_budget);
+
+  bool budget_hit = false;
+  runner.start();
+  try {
+    sim.run(s.warmup + s.measure);
+    if (monitor.ok()) {
+      // Drain to quiescence so liveness is observable: no new requests, and
+      // anything still waiting at the end is waiting forever.
+      runner.stop_issuing();
+      sim.run();
+    }
+  } catch (const sim::EventBudgetExceeded&) {
+    budget_hit = true;
+  }
+
+  out.quiescent = !budget_hit && sim.idle();
+  // A stop-on-first interruption leaves legitimate in-flight requests, so
+  // end-of-run liveness checks only run when the drain completed cleanly.
+  monitor.finalize(sim.now(), out.quiescent && monitor.ok());
+  out.violations = monitor.violations();
+  if (budget_hit) {
+    out.violations.push_back(livelock_violation(sim.now(),
+                                                options.event_budget));
+  }
+  out.events = sim.events_processed();
+  out.messages = system->network().total_messages();
+  return out;
+}
+
+std::vector<Violation> check_replay(const scenario::RequestTrace& trace,
+                                    algo::Algorithm algorithm,
+                                    const MonitorConfig& monitor_cfg,
+                                    std::uint64_t seed,
+                                    sim::SimDuration delay_bound) {
+  MonitorConfig mc = monitor_cfg;
+  mc.num_sites = trace.num_sites;
+  mc.num_resources = trace.num_resources;
+  mc.stop_on_first = false;  // replays run to the end; they are short
+  Monitor monitor(mc);
+
+  scenario::ReplayOptions ropts;
+  ropts.seed = seed;
+  ropts.latency_delay_bound = delay_bound;
+  ropts.observer = &monitor;
+
+  try {
+    const scenario::ReplayResult r =
+        scenario::replay_trace(trace, algorithm, ropts);
+    monitor.finalize(r.end_time, /*quiescent=*/true);
+  } catch (const sim::EventBudgetExceeded&) {
+    // replay_trace's internal budget tripped; the exception does not carry
+    // the end time, so the violation reports detection at an unknown (0)
+    // instant.
+    std::vector<Violation> out = monitor.violations();
+    Violation v;
+    v.oracle = "livelock";
+    v.detail = "checked replay exceeded the replayed system's event budget "
+               "without quiescing";
+    out.push_back(std::move(v));
+    return out;
+  }
+  return monitor.violations();
+}
+
+// ---------------------------------------------------------------------------
+// Trace minimization: greedy delta debugging over the event list. A
+// candidate counts as "still violating" when its checked replay reports any
+// violation from the same oracle as the original finding.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool still_violates(const scenario::RequestTrace& candidate,
+                    algo::Algorithm algorithm, const MonitorConfig& mc,
+                    std::uint64_t seed, sim::SimDuration delay_bound,
+                    const std::string& oracle) {
+  if (candidate.events.empty()) return false;
+  const std::vector<Violation> violations =
+      check_replay(candidate, algorithm, mc, seed, delay_bound);
+  return std::any_of(violations.begin(), violations.end(),
+                     [&](const Violation& v) { return v.oracle == oracle; });
+}
+
+scenario::RequestTrace with_events(const scenario::RequestTrace& base,
+                                   std::vector<scenario::TraceEvent> events) {
+  scenario::RequestTrace t = base;
+  t.events = std::move(events);
+  return t;
+}
+
+/// ddmin-lite: repeatedly try dropping contiguous chunks (n/2, n/4, ... 1)
+/// while the violation reproduces, bounded by `budget` replay attempts.
+scenario::RequestTrace minimize_trace(const scenario::RequestTrace& full,
+                                      algo::Algorithm algorithm,
+                                      const MonitorConfig& mc,
+                                      std::uint64_t seed,
+                                      sim::SimDuration delay_bound,
+                                      const std::string& oracle, int budget) {
+  std::vector<scenario::TraceEvent> events = full.events;
+  std::size_t chunk = events.size() / 2;
+  int attempts = 0;
+  while (chunk >= 1 && attempts < budget) {
+    bool removed_any = false;
+    for (std::size_t start = 0; start < events.size() && attempts < budget;) {
+      std::vector<scenario::TraceEvent> candidate;
+      candidate.reserve(events.size());
+      const std::size_t end = std::min(events.size(), start + chunk);
+      candidate.insert(candidate.end(), events.begin(),
+                       events.begin() + static_cast<std::ptrdiff_t>(start));
+      candidate.insert(candidate.end(),
+                       events.begin() + static_cast<std::ptrdiff_t>(end),
+                       events.end());
+      ++attempts;
+      if (!candidate.empty() &&
+          still_violates(with_events(full, std::move(candidate)), algorithm,
+                         mc, seed, delay_bound, oracle)) {
+        // Rebuild the surviving list and rescan from the same offset.
+        std::vector<scenario::TraceEvent> kept;
+        kept.reserve(events.size() - (end - start));
+        kept.insert(kept.end(), events.begin(),
+                    events.begin() + static_cast<std::ptrdiff_t>(start));
+        kept.insert(kept.end(),
+                    events.begin() + static_cast<std::ptrdiff_t>(end),
+                    events.end());
+        events = std::move(kept);
+        removed_any = true;
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk == 1) break;
+    // ddmin's retry rule: a successful removal can enable earlier removals,
+    // so only refine the granularity after a pass that removed nothing.
+    if (!removed_any) chunk = std::max<std::size_t>(1, chunk / 2);
+  }
+  return with_events(full, std::move(events));
+}
+
+std::string trace_file_name(const std::string& dir, const std::string& label,
+                            std::uint64_t seed) {
+  std::string safe = label;
+  for (char& c : safe) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '-') {
+      c = '_';
+    }
+  }
+  return dir + "/repro_" + safe + "_s" + std::to_string(seed) + ".mra";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Scenario explorer
+// ---------------------------------------------------------------------------
+
+ExploreReport explore(const ExploreConfig& config) {
+  ExploreReport report;
+  for (const scenario::ScenarioSpec& spec : config.scenarios) {
+    for (algo::Algorithm alg : config.algorithms) {
+      const std::uint64_t case_hash =
+          std::hash<std::string>{}(spec.name + ":" + algo::cli_name(alg));
+      for (int i = 0; i < config.seeds_per_case; ++i) {
+        const std::uint64_t run_seed = config.base_seed +
+                                       static_cast<std::uint64_t>(i);
+        // The perturbation draw depends only on (run seed, case, bound), so
+        // re-running with --base-seed <run_seed> --seeds 1 and the same
+        // --delay-bound-ms reproduces this exact run.
+        sim::Rng run_meta(run_seed ^ case_hash);
+        const sim::SimDuration delay =
+            config.delay_bound > 0
+                ? run_meta.uniform_int(0, config.delay_bound)
+                : 0;
+        scenario::ScenarioSpec s = spec;
+        s.system.seed = run_seed;
+        s.system.latency_delay_bound = delay;
+
+        CheckOptions copt;
+        copt.monitor = config.monitor;
+        // Mirrors the sweep-level flag (and explore_mutex): stop-on-first
+        // also aborts the violating run early; keep-going collects every
+        // violation a run produces.
+        copt.monitor.stop_on_first = config.stop_on_first;
+        const CheckedRun run = run_checked_scenario(s, alg, copt);
+        ++report.runs;
+        if (run.violations.empty()) continue;
+
+        ++report.violating_runs;
+        FoundViolation found;
+        found.scenario = spec.name;
+        found.algorithm = algo::cli_name(alg);
+        found.seed = run_seed;
+        found.delay_bound = delay;
+        found.violations = run.violations;
+        found.trace_events = run.trace.events.size();
+        found.minimized_events = run.trace.events.size();
+
+        // Repro trace: minimize when the recorded trace reproduces the
+        // violation under checked replay, otherwise keep it whole (the run
+        // itself is already reproducible from scenario + seed + delay).
+        const std::string oracle = run.violations.front().oracle;
+        scenario::RequestTrace repro = run.trace;
+        if (!run.trace.events.empty()) {
+          found.replay_reproduces =
+              still_violates(run.trace, alg, config.monitor, run_seed, delay,
+                             oracle);
+          if (found.replay_reproduces && config.minimize_budget > 0) {
+            repro = minimize_trace(run.trace, alg, config.monitor, run_seed,
+                                   delay, oracle, config.minimize_budget);
+            found.minimized_events = repro.events.size();
+          }
+        }
+        if (!config.trace_dir.empty() && !repro.events.empty()) {
+          found.trace_path = trace_file_name(
+              config.trace_dir, found.scenario + "_" + found.algorithm,
+              run_seed);
+          scenario::save_trace(found.trace_path, repro);
+        }
+        report.found.push_back(std::move(found));
+        if (config.stop_on_first) return report;
+      }
+    }
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Mutex-substrate explorer
+// ---------------------------------------------------------------------------
+
+const char* to_string(MutexProtocol p) {
+  switch (p) {
+    case MutexProtocol::kNaimiTrehel: return "nt";
+    case MutexProtocol::kSuzukiKasami: return "sk";
+    case MutexProtocol::kRicartAgrawala: return "ra";
+  }
+  return "?";
+}
+
+std::vector<MutexProtocol> all_mutex_protocols() {
+  return {MutexProtocol::kNaimiTrehel, MutexProtocol::kSuzukiKasami,
+          MutexProtocol::kRicartAgrawala};
+}
+
+MutexProtocol mutex_protocol_from_name(const std::string& name) {
+  for (MutexProtocol p : all_mutex_protocols()) {
+    if (name == to_string(p)) return p;
+  }
+  throw std::invalid_argument("unknown mutex protocol \"" + name +
+                              "\" (valid: nt | sk | ra)");
+}
+
+namespace {
+
+/// Adapts one engine instance to a net::Node (the test_mutex pattern) while
+/// feeding CS-lifecycle events to the monitor.
+template <typename Engine>
+class MutexHost final : public net::Node {
+ public:
+  std::function<void()> on_granted;
+  std::unique_ptr<Engine> engine;
+
+  void on_message(SiteId from, const net::Message& msg) override {
+    (void)from;
+    if constexpr (std::is_same_v<Engine, mutex::NaimiTrehelEngine<>>) {
+      if (const auto* req = dynamic_cast<const mutex::NtRequestMsg*>(&msg)) {
+        engine->on_request(*req);
+        return;
+      }
+      if (const auto* tok =
+              dynamic_cast<const mutex::NtTokenMsg<mutex::NoPayload>*>(&msg)) {
+        engine->on_token(*tok);
+        return;
+      }
+    } else if constexpr (std::is_same_v<Engine, mutex::SuzukiKasamiEngine>) {
+      if (const auto* req = dynamic_cast<const mutex::SkRequestMsg*>(&msg)) {
+        engine->on_request(*req);
+        return;
+      }
+      if (const auto* tok = dynamic_cast<const mutex::SkTokenMsg*>(&msg)) {
+        engine->on_token(*tok);
+        return;
+      }
+    } else {
+      if (const auto* req = dynamic_cast<const mutex::RaRequestMsg*>(&msg)) {
+        engine->on_request(from, *req);
+        return;
+      }
+      if (const auto* rep = dynamic_cast<const mutex::RaReplyMsg*>(&msg)) {
+        engine->on_reply(*rep);
+        return;
+      }
+    }
+  }
+};
+
+template <typename Engine>
+std::vector<Violation> run_mutex_case(const MutexExploreConfig& config,
+                                      std::uint64_t seed,
+                                      sim::SimDuration delay) {
+  const int n = config.num_sites;
+  sim::Simulator sim;
+  net::Network net(sim,
+                   net::make_bounded_delay_latency(sim::from_ms(0.6), delay),
+                   seed);
+
+  MonitorConfig mc = config.monitor;
+  mc.num_sites = n;
+  mc.num_resources = 1;
+  mc.stop_on_first = config.stop_on_first;
+  Monitor monitor(mc);
+  monitor.attach(sim, net);
+
+  std::vector<std::unique_ptr<MutexHost<Engine>>> hosts;
+  for (int i = 0; i < n; ++i) {
+    hosts.push_back(std::make_unique<MutexHost<Engine>>());
+    net.add_node(*hosts.back());
+  }
+  for (int i = 0; i < n; ++i) {
+    auto* host = hosts[static_cast<std::size_t>(i)].get();
+    auto send = [host](SiteId dst, std::unique_ptr<net::Message> m) {
+      host->network()->send(host->id(), dst, std::move(m));
+    };
+    auto granted = [host]() {
+      if (host->on_granted) host->on_granted();
+    };
+    if constexpr (std::is_same_v<Engine, mutex::NaimiTrehelEngine<>>) {
+      host->engine = std::make_unique<Engine>(i, /*elected=*/0,
+                                              /*instance=*/0, send, granted);
+    } else if constexpr (std::is_same_v<Engine, mutex::SuzukiKasamiEngine>) {
+      host->engine = std::make_unique<Engine>(i, /*elected=*/0, n,
+                                              /*instance=*/0, send, granted);
+    } else {
+      host->engine =
+          std::make_unique<Engine>(i, n, /*instance=*/0, send, granted);
+    }
+  }
+  net.start();
+
+  // Harness-fed CS-lifecycle events over the single shared resource.
+  const ResourceSet the_resource(1, {0});
+  std::vector<std::int64_t> seq(static_cast<std::size_t>(n), 0);
+  auto emit = [&](EventType type, SiteId s) {
+    Event ev;
+    ev.type = type;
+    ev.at = sim.now();
+    ev.site = s;
+    ev.seq = seq[static_cast<std::size_t>(s)];
+    ev.resources = &the_resource;
+    monitor.on_event(ev);
+  };
+
+  sim::Rng rng(seed ^ 0xA5A5A5A5A5A5A5A5ULL);
+  std::vector<int> remaining(static_cast<std::size_t>(n),
+                             config.requests_per_site);
+
+  std::function<void(SiteId)> issue = [&](SiteId s) {
+    if (remaining[static_cast<std::size_t>(s)]-- <= 0) return;
+    ++seq[static_cast<std::size_t>(s)];
+    emit(EventType::kRequest, s);
+    hosts[static_cast<std::size_t>(s)]->engine->request();
+  };
+
+  for (SiteId s = 0; s < n; ++s) {
+    hosts[static_cast<std::size_t>(s)]->on_granted = [&, s]() {
+      emit(EventType::kAcquire, s);
+      sim.schedule_in(sim::from_ms(1), [&, s]() {
+        emit(EventType::kRelease, s);
+        hosts[static_cast<std::size_t>(s)]->engine->release();
+        sim.schedule_in(
+            static_cast<sim::SimDuration>(rng.uniform_int(0, 2'000'000)),
+            [&, s]() { issue(s); });
+      });
+    };
+    sim.schedule_in(
+        static_cast<sim::SimDuration>(rng.uniform_int(0, 2'000'000)),
+        [&, s]() { issue(s); });
+  }
+
+  sim.set_event_budget(50'000'000ULL);
+  bool budget_hit = false;
+  try {
+    sim.run();
+  } catch (const sim::EventBudgetExceeded&) {
+    budget_hit = true;
+  }
+  const bool quiescent = !budget_hit && sim.idle();
+  monitor.finalize(sim.now(), quiescent && monitor.ok());
+  std::vector<Violation> out = monitor.violations();
+  if (budget_hit) out.push_back(livelock_violation(sim.now(), 50'000'000ULL));
+  return out;
+}
+
+std::vector<Violation> run_mutex_protocol(MutexProtocol protocol,
+                                          const MutexExploreConfig& config,
+                                          std::uint64_t seed,
+                                          sim::SimDuration delay) {
+  switch (protocol) {
+    case MutexProtocol::kNaimiTrehel:
+      return run_mutex_case<mutex::NaimiTrehelEngine<>>(config, seed, delay);
+    case MutexProtocol::kSuzukiKasami:
+      return run_mutex_case<mutex::SuzukiKasamiEngine>(config, seed, delay);
+    case MutexProtocol::kRicartAgrawala:
+      return run_mutex_case<mutex::RicartAgrawalaEngine>(config, seed, delay);
+  }
+  return {};
+}
+
+}  // namespace
+
+ExploreReport explore_mutex(const MutexExploreConfig& config) {
+  ExploreReport report;
+  for (MutexProtocol protocol : config.protocols) {
+    const std::uint64_t case_hash =
+        0x6D75746578ULL + static_cast<std::uint64_t>(protocol);
+    for (int i = 0; i < config.seeds_per_case; ++i) {
+      const std::uint64_t run_seed =
+          config.base_seed + static_cast<std::uint64_t>(i);
+      // Same exact-repro property as explore(): the draw is a function of
+      // (run seed, protocol, bound) only.
+      sim::Rng run_meta(run_seed ^ case_hash);
+      const sim::SimDuration delay =
+          config.delay_bound > 0 ? run_meta.uniform_int(0, config.delay_bound)
+                                 : 0;
+      const std::vector<Violation> violations =
+          run_mutex_protocol(protocol, config, run_seed, delay);
+      ++report.runs;
+      if (violations.empty()) continue;
+      ++report.violating_runs;
+      FoundViolation found;
+      found.scenario = std::string("mutex:") + to_string(protocol);
+      found.algorithm = to_string(protocol);
+      found.seed = run_seed;
+      found.delay_bound = delay;
+      found.violations = violations;
+      report.found.push_back(std::move(found));
+      if (config.stop_on_first) return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace mra::check

@@ -1,0 +1,125 @@
+// The adversarial schedule explorer: hunts schedule-dependent protocol bugs
+// by running registry scenarios (and the raw mutex substrates) across a seed
+// sweep under randomized latency perturbation — every message gets an extra
+// uniform delay in [0, bound], i.e. delay-bounded cross-link reordering
+// while the network keeps each ordered link FIFO (the paper's §3.1
+// contract). Every run carries a full check::Monitor; the sweep stops at the
+// first violation and emits a minimized, replayable `# mra-trace v1` repro.
+//
+// CLI: examples/mra_explore.cpp. CI runs a fixed-budget smoke sweep and
+// archives any repro trace as an artifact (see .github/workflows/ci.yml).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algo/factory.hpp"
+#include "check/monitor.hpp"
+#include "scenario/spec.hpp"
+#include "scenario/trace.hpp"
+
+namespace mra::check {
+
+// ---------------------------------------------------------------------------
+// One fully checked scenario run
+// ---------------------------------------------------------------------------
+
+struct CheckOptions {
+  /// Oracle configuration; num_sites/num_resources are filled from the spec.
+  MonitorConfig monitor;
+  bool record_trace = true;  ///< capture the request trace for repro/minimize
+  std::uint64_t event_budget = 200'000'000;  ///< livelock guard
+};
+
+struct CheckedRun {
+  std::vector<Violation> violations;
+  bool quiescent = false;  ///< drained cleanly after the measured window
+  std::uint64_t events = 0;
+  std::uint64_t messages = 0;
+  scenario::RequestTrace trace;  ///< empty unless record_trace
+};
+
+/// Runs `spec` under `algorithm` with the full oracle set attached: measured
+/// window, then stop issuing and drain to quiescence, then end-of-run checks
+/// (stuck waiters, expired wait deadlines, complexity bound). A tripped
+/// event budget is reported as a "livelock" violation, not an exception.
+[[nodiscard]] CheckedRun run_checked_scenario(
+    const scenario::ScenarioSpec& spec, algo::Algorithm algorithm,
+    const CheckOptions& options = {});
+
+/// Replays `trace` with a fresh Monitor attached; returns its violations
+/// (budget trips again become a "livelock" violation). `delay_bound` and
+/// `seed` re-create the perturbed network of the exploring run.
+[[nodiscard]] std::vector<Violation> check_replay(
+    const scenario::RequestTrace& trace, algo::Algorithm algorithm,
+    const MonitorConfig& monitor, std::uint64_t seed,
+    sim::SimDuration delay_bound);
+
+// ---------------------------------------------------------------------------
+// Scenario explorer
+// ---------------------------------------------------------------------------
+
+struct ExploreConfig {
+  std::vector<scenario::ScenarioSpec> scenarios;  ///< already quick-adjusted
+  std::vector<algo::Algorithm> algorithms;
+  int seeds_per_case = 10;     ///< seed budget per (scenario, algorithm)
+  std::uint64_t base_seed = 1;
+  /// Maximum extra per-message delay; each run draws its own bound in
+  /// [0, this] from a deterministic meta-stream.
+  sim::SimDuration delay_bound = sim::from_ms(2.0);
+  bool stop_on_first = true;   ///< stop the whole sweep at the first bug
+  MonitorConfig monitor;       ///< oracle template (sizes filled per spec)
+  std::string trace_dir;       ///< where repro traces land ("" = don't save)
+  int minimize_budget = 48;    ///< replay attempts the minimizer may spend
+};
+
+struct FoundViolation {
+  std::string scenario;          ///< scenario name or "mutex:<protocol>"
+  std::string algorithm;         ///< cli_name or mutex protocol name
+  std::uint64_t seed = 0;
+  sim::SimDuration delay_bound = 0;  ///< this run's drawn perturbation
+  std::vector<Violation> violations;
+  std::string trace_path;        ///< saved repro trace ("" when disabled)
+  std::size_t trace_events = 0;
+  std::size_t minimized_events = 0;  ///< == trace_events if not minimizable
+  bool replay_reproduces = false;    ///< full-trace replay shows the bug too
+};
+
+struct ExploreReport {
+  std::uint64_t runs = 0;
+  std::uint64_t violating_runs = 0;
+  std::vector<FoundViolation> found;
+};
+
+[[nodiscard]] ExploreReport explore(const ExploreConfig& config);
+
+// ---------------------------------------------------------------------------
+// Mutex-substrate explorer (single resource, raw engines)
+// ---------------------------------------------------------------------------
+
+enum class MutexProtocol { kNaimiTrehel, kSuzukiKasami, kRicartAgrawala };
+
+[[nodiscard]] const char* to_string(MutexProtocol p);
+[[nodiscard]] std::vector<MutexProtocol> all_mutex_protocols();
+/// Parses "nt" | "sk" | "ra"; throws std::invalid_argument otherwise.
+[[nodiscard]] MutexProtocol mutex_protocol_from_name(const std::string& name);
+
+struct MutexExploreConfig {
+  std::vector<MutexProtocol> protocols;
+  int num_sites = 8;
+  int requests_per_site = 25;
+  int seeds_per_case = 10;
+  std::uint64_t base_seed = 1;
+  sim::SimDuration delay_bound = sim::from_ms(2.0);
+  bool stop_on_first = true;
+  MonitorConfig monitor;  ///< sizes are overridden (num_resources = 1)
+};
+
+/// Same sweep over the three single-resource mutual-exclusion substrates;
+/// CS-lifecycle events are fed by the harness (engines are not
+/// AllocatorNodes), message/clock events flow through the normal hooks.
+/// Mutex runs have no request trace — the repro is (protocol, seed, delay).
+[[nodiscard]] ExploreReport explore_mutex(const MutexExploreConfig& config);
+
+}  // namespace mra::check

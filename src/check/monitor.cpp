@@ -1,0 +1,166 @@
+#include "check/monitor.hpp"
+
+#include <sstream>
+
+#include "algo/factory.hpp"
+#include "core/allocator.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace mra::check {
+
+Monitor::Monitor(const MonitorConfig& config) : cfg_(config) {
+  if (cfg_.event_window == 0) cfg_.event_window = 1;
+  ring_.resize(cfg_.event_window);
+  if (cfg_.mutual_exclusion && cfg_.num_resources > 0) {
+    oracles_.push_back(
+        std::make_unique<MutualExclusionOracle>(cfg_.num_resources));
+  }
+  if (cfg_.deadlock && cfg_.num_sites > 0 && cfg_.num_resources > 0) {
+    oracles_.push_back(
+        std::make_unique<DeadlockOracle>(cfg_.num_sites, cfg_.num_resources));
+  }
+  if (cfg_.starvation && cfg_.num_sites > 0) {
+    oracles_.push_back(std::make_unique<StarvationOracle>(
+        cfg_.num_sites, cfg_.starvation_horizon));
+  }
+  if (cfg_.fifo && cfg_.num_sites > 0) {
+    oracles_.push_back(std::make_unique<FifoOracle>(cfg_.num_sites));
+  }
+  if (cfg_.complexity) {
+    auto complexity =
+        std::make_unique<ComplexityOracle>(cfg_.max_messages_per_cs);
+    complexity_ = complexity.get();
+    oracles_.push_back(std::move(complexity));
+  }
+}
+
+Monitor::~Monitor() { detach(); }
+
+void Monitor::add_oracle(std::unique_ptr<Oracle> oracle) {
+  oracles_.push_back(std::move(oracle));
+}
+
+void Monitor::attach(algo::AllocationSystem& system) {
+  attach(system.simulator(), system.network());
+  system_ = &system;
+  for (SiteId i = 0; i < system.num_sites(); ++i) {
+    system.node(i).set_observer(this);
+  }
+}
+
+void Monitor::attach(sim::Simulator& simulator, net::Network& network) {
+  sim_ = &simulator;
+  net_ = &network;
+  simulator.set_observer(this);
+  network.set_observer(this);
+}
+
+void Monitor::detach() {
+  if (sim_ != nullptr && sim_->observer() == this) sim_->set_observer(nullptr);
+  if (net_ != nullptr && net_->observer() == this) net_->set_observer(nullptr);
+  if (system_ != nullptr) {
+    for (SiteId i = 0; i < system_->num_sites(); ++i) {
+      if (system_->node(i).check_observer() == this) {
+        system_->node(i).set_observer(nullptr);
+      }
+    }
+  }
+  sim_ = nullptr;
+  net_ = nullptr;
+  system_ = nullptr;
+}
+
+void Monitor::record(const Event& event) {
+  RecordedEvent& r = ring_[ring_next_];
+  ring_next_ = (ring_next_ + 1) % ring_.size();
+  r = RecordedEvent{};
+  r.type = event.type;
+  r.at = event.at;
+  r.site = event.site;
+  r.peer = event.peer;
+  r.seq = event.seq;
+  r.resource = event.resource;
+  r.bytes = event.bytes;
+  r.kind = event.kind;
+  if (event.resources != nullptr) {
+    event.resources->for_each([&](ResourceId id) {
+      if (r.res_count < 8) {
+        r.res[r.res_count++] = id;
+      } else {
+        r.res_truncated = true;
+      }
+    });
+  }
+}
+
+std::string Monitor::format(const RecordedEvent& e) {
+  std::ostringstream os;
+  os << "[" << sim::to_ms(e.at) << "ms] s" << e.site << " "
+     << to_string(e.type);
+  switch (e.type) {
+    case EventType::kRequest:
+    case EventType::kAcquire:
+    case EventType::kRelease: {
+      os << " {";
+      for (std::uint8_t i = 0; i < e.res_count; ++i) {
+        if (i != 0) os << ",";
+        os << e.res[i];
+      }
+      if (e.res_truncated) os << ",...";
+      os << "} seq=" << e.seq;
+      break;
+    }
+    case EventType::kHold:
+      os << " r" << e.resource << " seq=" << e.seq;
+      break;
+    case EventType::kSend:
+    case EventType::kDeliver:
+      os << " -> s" << e.peer << " " << e.kind << " #" << e.seq << " ("
+         << e.bytes << "B)";
+      break;
+  }
+  return os.str();
+}
+
+std::vector<std::string> Monitor::recent_events() const {
+  std::vector<std::string> out;
+  const std::size_t cap = ring_.size();
+  const std::size_t count =
+      events_seen_ < cap ? static_cast<std::size_t>(events_seen_) : cap;
+  // Oldest first: the ring's next slot is also its oldest entry once full.
+  std::size_t idx = events_seen_ < cap ? 0 : ring_next_;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(format(ring_[idx]));
+    idx = (idx + 1) % cap;
+  }
+  return out;
+}
+
+void Monitor::on_event(const Event& event) {
+  ++events_seen_;
+  record(event);
+  if (!checking_) return;
+  for (auto& oracle : oracles_) oracle->on_event(event, *this);
+}
+
+void Monitor::on_advance(sim::SimTime now) {
+  if (!checking_) return;
+  for (auto& oracle : oracles_) oracle->on_advance(now, *this);
+}
+
+void Monitor::report(Violation violation) {
+  if (violation.recent_events.empty()) {
+    violation.recent_events = recent_events();
+  }
+  violations_.push_back(std::move(violation));
+  if (violations_.size() >= cfg_.max_violations) checking_ = false;
+  if (cfg_.stop_on_first && sim_ != nullptr) sim_->stop();
+}
+
+void Monitor::finalize(sim::SimTime now, bool quiescent) {
+  if (!checking_) return;
+  for (auto& oracle : oracles_) oracle->finalize(now, quiescent, *this);
+}
+
+}  // namespace mra::check

@@ -1,0 +1,41 @@
+#include "check/mutant.hpp"
+
+#include <cstring>
+#include <initializer_list>
+
+namespace mra::check {
+
+const char* to_string(Mutant m) {
+  switch (m) {
+    case Mutant::kNone: return "none";
+    case Mutant::kLassPrematureEntry: return "lass-premature-entry";
+    case Mutant::kLassDropRelease: return "lass-drop-release";
+    case Mutant::kLassSkipCounterReply: return "lass-skip-counter-reply";
+    case Mutant::kIncrementalReversedAcquire:
+      return "incremental-reversed-acquire";
+    case Mutant::kNetFifoViolation: return "net-fifo-violation";
+    case Mutant::kMutexNtDropToken: return "mutex-nt-drop-token";
+  }
+  return "?";
+}
+
+Mutant mutant_from_name(const char* name) {
+  for (Mutant m : {Mutant::kLassPrematureEntry, Mutant::kLassDropRelease,
+                   Mutant::kLassSkipCounterReply,
+                   Mutant::kIncrementalReversedAcquire,
+                   Mutant::kNetFifoViolation, Mutant::kMutexNtDropToken}) {
+    if (std::strcmp(name, to_string(m)) == 0) return m;
+  }
+  return Mutant::kNone;
+}
+
+#ifdef MRA_CHECK_MUTANTS
+namespace {
+Mutant g_active = Mutant::kNone;
+}  // namespace
+
+Mutant active_mutant() { return g_active; }
+void set_active_mutant(Mutant m) { g_active = m; }
+#endif
+
+}  // namespace mra::check

@@ -1,0 +1,59 @@
+// Compile-time-gated mutant hooks: seeded protocol bugs used to prove the
+// conformance oracles actually detect what they claim to detect
+// (tests/test_mutants.cpp). Production builds compile the gate to `false`
+// and every hook folds away; a build configured with -DMRA_CHECK_MUTANTS=ON
+// (CMake option MRA_CHECK_MUTANTS) makes exactly one mutant activatable at
+// runtime via set_active_mutant().
+//
+// This header is a leaf (no project includes) so instrumentation sites in
+// net/, algo/ and mutex/ can include it without layering concerns.
+#pragma once
+
+namespace mra::check {
+
+/// Every seeded bug, each mapped to the oracle that must catch it.
+enum class Mutant {
+  kNone = 0,
+  /// LASS enters the CS as soon as *one* required token is owned instead of
+  /// all of them -> per-resource mutual-exclusion oracle.
+  kLassPrematureEntry,
+  /// LASS release() keeps its tokens instead of serving the waiting queue
+  /// -> deadlock (stuck-at-quiescence) / starvation oracle.
+  kLassDropRelease,
+  /// LASS token holder drops the counter-update reply, leaving the
+  /// requester in waitS forever -> deadlock / starvation oracle.
+  kLassSkipCounterReply,
+  /// Incremental acquires its per-resource locks in *descending* id order
+  /// on odd sites, breaking the global total order -> wait-for-graph
+  /// deadlock oracle (genuine AB/BA cycle).
+  kIncrementalReversedAcquire,
+  /// Network skips the per-link FIFO watermark clamp, so a low-latency
+  /// message overtakes an earlier one on the same link -> FIFO/causality
+  /// oracle.
+  kNetFifoViolation,
+  /// Naimi-Tréhel release() drops the token instead of forwarding it to the
+  /// queued next requester -> deadlock oracle (mutex explorer mode).
+  kMutexNtDropToken,
+};
+
+[[nodiscard]] const char* to_string(Mutant m);
+
+/// Parses the kebab-case name used by `mra_explore --mutant` and the tests
+/// ("lass-premature-entry", ...). Returns kNone for unknown names.
+[[nodiscard]] Mutant mutant_from_name(const char* name);
+
+#ifdef MRA_CHECK_MUTANTS
+/// The active mutant (kNone by default). Not thread-safe: set it before
+/// building/running a system, never concurrently with a sweep.
+[[nodiscard]] Mutant active_mutant();
+void set_active_mutant(Mutant m);
+[[nodiscard]] inline bool mutants_compiled_in() { return true; }
+inline bool mutant_enabled(Mutant m) { return m == active_mutant(); }
+#else
+[[nodiscard]] constexpr Mutant active_mutant() { return Mutant::kNone; }
+constexpr void set_active_mutant(Mutant) {}
+[[nodiscard]] constexpr bool mutants_compiled_in() { return false; }
+constexpr bool mutant_enabled(Mutant) { return false; }
+#endif
+
+}  // namespace mra::check

@@ -1,0 +1,64 @@
+// Conformance-event emission for AllocatorNode (the template-method side of
+// core/allocator.hpp). Out of line so the header needs neither the network
+// definition (clock access) nor the check event types.
+#include "core/allocator.hpp"
+
+#include "check/event.hpp"
+#include "net/network.hpp"
+
+namespace mra {
+
+namespace {
+
+[[nodiscard]] sim::SimTime node_now(const net::Node& node) {
+  // Nodes are registered before any event fires; a node used without a
+  // network (unit tests driving protocols directly) reports time 0.
+  net::Network* net = node.network();
+  return net != nullptr ? net->simulator().now() : 0;
+}
+
+}  // namespace
+
+void AllocatorNode::observe_request(const ResourceSet& resources) {
+  check::Event ev;
+  ev.type = check::EventType::kRequest;
+  ev.at = node_now(*this);
+  ev.site = id();
+  // The seq the implementation is about to assign (see request()).
+  ev.seq = request_seq_ + 1;
+  ev.resources = &resources;
+  check_observer()->on_event(ev);
+}
+
+void AllocatorNode::observe_acquire() {
+  check::Event ev;
+  ev.type = check::EventType::kAcquire;
+  ev.at = node_now(*this);
+  ev.site = id();
+  ev.seq = request_seq_;
+  ev.resources = &current_;
+  check_observer()->on_event(ev);
+}
+
+void AllocatorNode::observe_release() {
+  check::Event ev;
+  ev.type = check::EventType::kRelease;
+  ev.at = node_now(*this);
+  ev.site = id();
+  ev.seq = request_seq_;
+  ev.resources = &current_;
+  check_observer()->on_event(ev);
+}
+
+void AllocatorNode::observe_hold(ResourceId r) {
+  if (check_observer() == nullptr) return;
+  check::Event ev;
+  ev.type = check::EventType::kHold;
+  ev.at = node_now(*this);
+  ev.site = id();
+  ev.seq = request_seq_;
+  ev.resource = r;
+  check_observer()->on_event(ev);
+}
+
+}  // namespace mra

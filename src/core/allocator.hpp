@@ -12,6 +12,10 @@
 #include "core/types.hpp"
 #include "net/node.hpp"
 
+namespace mra::check {
+class Observer;
+}  // namespace mra::check
+
 namespace mra {
 
 /// States of the paper's per-process state machine (§4.1).
@@ -48,13 +52,30 @@ class AllocatorNode : public net::Node {
   /// Registers the grant callback (the workload driver does this once).
   void set_grant_callback(GrantCallback cb) { grant_cb_ = std::move(cb); }
 
+  /// Attaches a conformance observer (src/check/): request/CS-entry/release
+  /// events are emitted around the protocol calls. Null detaches; detached
+  /// cost is one branch per lifecycle transition.
+  void set_observer(check::Observer* observer) { observer_ = observer; }
+  [[nodiscard]] check::Observer* check_observer() const { return observer_; }
+
   /// Begins acquiring exclusive access to `resources` (non-empty).
-  /// Precondition: state() == kIdle.
-  virtual void request(const ResourceSet& resources) = 0;
+  /// Precondition: state() == kIdle. Template method: emits the kRequest
+  /// conformance event (with the seq the implementation is about to assign —
+  /// every implementation increments request_seq_ exactly once, a convention
+  /// the drivers also rely on), then dispatches to do_request().
+  void request(const ResourceSet& resources) {
+    if (observer_ != nullptr) observe_request(resources);
+    do_request(resources);
+  }
 
   /// Releases all resources of the current request.
-  /// Precondition: state() == kInCS.
-  virtual void release() = 0;
+  /// Precondition: state() == kInCS. Emits kRelease *before* the protocol
+  /// hands resources on, so a subsequent grant of the same resources at the
+  /// same instant is observed in the correct order.
+  void release() {
+    if (observer_ != nullptr) observe_release();
+    do_release();
+  }
 
   /// Current protocol state of this site.
   [[nodiscard]] virtual ProcessState state() const = 0;
@@ -66,15 +87,34 @@ class AllocatorNode : public net::Node {
   [[nodiscard]] RequestId current_request_id() const { return request_seq_; }
 
  protected:
+  /// Protocol implementations (the paper's state machine transitions).
+  virtual void do_request(const ResourceSet& resources) = 0;
+  virtual void do_release() = 0;
+
   void notify_granted() {
+    if (observer_ != nullptr) observe_acquire();
     if (grant_cb_) grant_cb_(request_seq_);
   }
+
+  /// Emits a kHold event: this site obtained exclusive custody of `r` before
+  /// the full request is granted. Only algorithms with genuinely exclusive
+  /// per-resource custody during acquisition call this (Incremental's
+  /// per-resource locks); it is what lets the deadlock oracle see partial
+  /// hold-and-wait states.
+  void observe_hold(ResourceId r);
 
   ResourceSet current_;
   RequestId request_seq_ = 0;
 
  private:
+  // Out of line (core/allocator.cpp): they need the network for the clock
+  // and the check event definitions.
+  void observe_request(const ResourceSet& resources);
+  void observe_acquire();
+  void observe_release();
+
   GrantCallback grant_cb_;
+  check::Observer* observer_ = nullptr;
 };
 
 }  // namespace mra

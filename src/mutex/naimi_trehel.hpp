@@ -18,6 +18,7 @@
 #include <string_view>
 #include <utility>
 
+#include "check/mutant.hpp"
 #include "core/types.hpp"
 #include "net/message.hpp"
 
@@ -100,7 +101,12 @@ class NaimiTrehelEngine {
     in_cs_ = false;
     requesting_ = false;
     if (next_ != kNoSite) {
-      send_token(next_);
+      if (!check::mutant_enabled(check::Mutant::kMutexNtDropToken)) {
+        // Seeded bug (when skipped): the token is never forwarded and the
+        // queued requester waits forever (deadlock oracle, explorer mutex
+        // mode).
+        send_token(next_);
+      }
       next_ = kNoSite;
     }
   }

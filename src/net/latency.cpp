@@ -11,6 +11,11 @@ std::unique_ptr<LatencyModel> make_uniform_jitter_latency(
   return std::make_unique<UniformJitterLatency>(base, jitter_fraction);
 }
 
+std::unique_ptr<LatencyModel> make_bounded_delay_latency(
+    sim::SimDuration base, sim::SimDuration bound) {
+  return std::make_unique<BoundedDelayLatency>(base, bound);
+}
+
 std::unique_ptr<LatencyModel> make_hierarchical_latency(
     int cluster_size, sim::SimDuration local, sim::SimDuration remote) {
   return std::make_unique<HierarchicalLatency>(cluster_size, local, remote);

@@ -46,6 +46,26 @@ class UniformJitterLatency final : public LatencyModel {
   double jitter_;
 };
 
+/// Base latency plus a uniformly drawn extra delay in [0, bound]: the
+/// adversarial schedule explorer's perturbation model (src/check/explore.*).
+/// Messages on *different* links may be reordered by up to `bound`, while
+/// the network's per-link watermark keeps each ordered pair FIFO — i.e.
+/// delay-bounded reordering within the paper's reliable-FIFO contract.
+class BoundedDelayLatency final : public LatencyModel {
+ public:
+  BoundedDelayLatency(sim::SimDuration base, sim::SimDuration bound)
+      : base_(base), bound_(bound) {}
+  sim::SimDuration sample(int /*src*/, int /*dst*/, sim::Rng& rng) override {
+    if (bound_ <= 0) return base_;
+    return base_ + static_cast<sim::SimDuration>(
+                       rng.uniform_int(0, static_cast<std::int64_t>(bound_)));
+  }
+
+ private:
+  sim::SimDuration base_;
+  sim::SimDuration bound_;
+};
+
 /// Two-level topology: cheap intra-cluster links, expensive inter-cluster
 /// links. Models the paper's future-work target (hierarchical Clouds): sites
 /// [0, cluster_size) form cluster 0, the next cluster_size sites cluster 1...
@@ -68,6 +88,8 @@ class HierarchicalLatency final : public LatencyModel {
 std::unique_ptr<LatencyModel> make_fixed_latency(sim::SimDuration latency);
 std::unique_ptr<LatencyModel> make_uniform_jitter_latency(
     sim::SimDuration base, double jitter_fraction);
+std::unique_ptr<LatencyModel> make_bounded_delay_latency(
+    sim::SimDuration base, sim::SimDuration bound);
 std::unique_ptr<LatencyModel> make_hierarchical_latency(
     int cluster_size, sim::SimDuration local, sim::SimDuration remote);
 

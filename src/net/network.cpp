@@ -5,6 +5,9 @@
 #include <string_view>
 #include <utility>
 
+#include "check/event.hpp"
+#include "check/mutant.hpp"
+
 namespace mra::net {
 
 Network::Network(sim::Simulator& simulator,
@@ -56,12 +59,51 @@ void Network::deliver(SiteId src, SiteId dst, std::unique_ptr<Message> msg,
   it->second.bytes += size;
 
   // FIFO per ordered link: never deliver before a previously sent message on
-  // the same (src, dst) pair.
+  // the same (src, dst) pair. The mutant skips the clamp (delivery order then
+  // follows raw latency), which the FIFO oracle must flag.
   const std::size_t link =
       static_cast<std::size_t>(src) * nodes_.size() + static_cast<std::size_t>(dst);
   sim::SimTime at = sim_.now() + latency;
-  if (at <= last_delivery_[link]) at = last_delivery_[link] + 1;
+  if (!check::mutant_enabled(check::Mutant::kNetFifoViolation)) {
+    if (at <= last_delivery_[link]) at = last_delivery_[link] + 1;
+  }
   last_delivery_[link] = at;
+
+  if (observer_ != nullptr) {
+    // Checking mode: emit kSend now and kDeliver when the message fires,
+    // paired by a per-network message id. The wrapper capture still fits the
+    // callback's inline buffer; kind/bytes are re-derived from the owned
+    // message at fire time so they need not travel.
+    const std::int64_t msg_id = ++observed_msg_id_;
+    check::Event ev;
+    ev.type = check::EventType::kSend;
+    ev.at = sim_.now();
+    ev.site = src;
+    ev.peer = dst;
+    ev.seq = msg_id;
+    ev.kind = kind;
+    ev.bytes = static_cast<std::uint32_t>(size);
+    observer_->on_event(ev);
+
+    Node* target = nodes_[static_cast<std::size_t>(dst)];
+    sim_.schedule_at(at, [this, target, src, msg_id,
+                          owned = std::move(msg)]() {
+      if (observer_ != nullptr) {
+        check::Event dev;
+        dev.type = check::EventType::kDeliver;
+        dev.at = sim_.now();
+        dev.site = src;
+        dev.peer = target->id();
+        dev.seq = msg_id;
+        dev.kind = owned->kind();
+        dev.bytes =
+            static_cast<std::uint32_t>(kEnvelopeBytes + owned->wire_size());
+        observer_->on_event(dev);
+      }
+      target->on_message(src, *owned);
+    });
+    return;
+  }
 
   // The event owns the message outright: sim::Callback is move-aware, so
   // the unique_ptr travels through the queue with no shared_ptr control

@@ -19,6 +19,10 @@
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 
+namespace mra::check {
+class Observer;
+}  // namespace mra::check
+
 namespace mra::net {
 
 /// Per-kind message statistics.
@@ -71,6 +75,14 @@ class Network {
   /// Resets statistics (e.g. after a warm-up phase).
   void reset_stats();
 
+  /// Attaches a conformance observer (src/check/): every send emits a kSend
+  /// event and every delivery a kDeliver event carrying the same message id,
+  /// so oracles can pair them (FIFO/causality checking). Null detaches. The
+  /// no-observer delivery path is byte-identical to the unhooked one — one
+  /// predictable branch per message.
+  void set_observer(check::Observer* observer) { observer_ = observer; }
+  [[nodiscard]] check::Observer* observer() const { return observer_; }
+
  private:
   void deliver(SiteId src, SiteId dst, std::unique_ptr<Message> msg,
                sim::SimDuration latency);
@@ -83,6 +95,8 @@ class Network {
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_bytes_ = 0;
   StatsMap stats_;
+  check::Observer* observer_ = nullptr;
+  std::int64_t observed_msg_id_ = 0;  ///< message ids handed to the observer
   bool started_ = false;
 };
 

@@ -182,8 +182,16 @@ ReplayResult replay_trace(const RequestTrace& trace, algo::Algorithm algorithm,
   sys.hierarchical_clusters = trace.hierarchical_clusters;
   sys.hierarchical_remote_latency = trace.hierarchical_remote_latency;
   sys.latency_jitter = options.latency_jitter;
+  sys.latency_delay_bound = options.latency_delay_bound;
   auto system = algo::AllocationSystem::create(sys);
   system->start();
+  if (options.observer != nullptr) {
+    system->simulator().set_observer(options.observer);
+    system->network().set_observer(options.observer);
+    for (SiteId s = 0; s < trace.num_sites; ++s) {
+      system->node(s).set_observer(options.observer);
+    }
+  }
 
   auto& sim = system->simulator();
   sim.set_event_budget(500'000'000ULL);
@@ -247,6 +255,7 @@ ReplayResult replay_trace(const RequestTrace& trace, algo::Algorithm algorithm,
   for (const auto& st : sites) {
     if (st.in_flight || !st.pending.empty()) out.completed_all = false;
   }
+  out.end_time = sim.now();
   out.metrics = experiment::summarize(*system, collector, false);
   // phi stays 0: a replay has no configured max request size, and reusing
   // the field for the trace's observed maximum would corrupt any consumer

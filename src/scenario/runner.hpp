@@ -25,6 +25,10 @@
 #include "scenario/trace.hpp"
 #include "workload/workload.hpp"
 
+namespace mra::check {
+class Observer;
+}  // namespace mra::check
+
 namespace mra::scenario {
 
 /// Drives one site: generates requests from the scenario's components and
@@ -109,13 +113,21 @@ struct ReplayOptions {
   /// > 0 overrides the base latency, e.g. to study latency sensitivity.
   sim::SimDuration network_latency = 0;
   double latency_jitter = 0.0;
+  /// > 0: extra uniform per-message delay in [0, bound] — re-creates the
+  /// schedule explorer's perturbed network (src/check/explore.hpp).
+  sim::SimDuration latency_delay_bound = 0;
   std::size_t size_buckets = 6;
+  /// Conformance observer wired into the replayed system's simulator,
+  /// network and nodes (typically a check::Monitor). Borrowed; must outlive
+  /// the call.
+  check::Observer* observer = nullptr;
 };
 
 struct ReplayResult {
   experiment::ExperimentResult metrics;
   bool safety_ok = true;      ///< no conflicting grants ever overlapped
   bool completed_all = false; ///< every trace event granted and released
+  sim::SimTime end_time = 0;  ///< when the replay quiesced
 };
 
 /// Replays `trace` against `algorithm` and runs to quiescence. The whole

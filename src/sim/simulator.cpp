@@ -1,5 +1,7 @@
 #include "sim/simulator.hpp"
 
+#include "check/event.hpp"
+
 namespace mra::sim {
 
 std::uint64_t Simulator::run(SimTime until) { return run_loop(until, nullptr); }
@@ -25,6 +27,7 @@ std::uint64_t Simulator::run_loop(SimTime until,
   while (!done) {
     if (queue_.empty() || t > until) break;
     now_ = t;
+    if (observer_ != nullptr) observer_->on_advance(t);
     SimTime next = t;
     while (next == t && queue_.fire_next_at(t, &next)) {
       ++fired;

@@ -16,6 +16,10 @@
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
+namespace mra::check {
+class Observer;
+}  // namespace mra::check
+
 namespace mra::sim {
 
 /// Thrown when a simulation exceeds its event budget — in this project that
@@ -79,10 +83,17 @@ class Simulator {
   /// 0 disables the cap.
   void set_event_budget(std::uint64_t budget) { event_budget_ = budget; }
 
+  /// Attaches a conformance observer (src/check/): Observer::on_advance fires
+  /// once per distinct instant, before that instant's events. Null detaches.
+  /// Costs one predictable branch per instant when detached.
+  void set_observer(check::Observer* observer) { observer_ = observer; }
+  [[nodiscard]] check::Observer* observer() const { return observer_; }
+
  private:
   std::uint64_t run_loop(SimTime until, const std::function<bool()>* pred);
 
   EventQueue queue_;
+  check::Observer* observer_ = nullptr;
   SimTime now_ = kTimeZero;
   std::uint64_t processed_ = 0;
   std::uint64_t event_budget_ = 0;

@@ -1,0 +1,155 @@
+// Oracle sensitivity: each MRA_CHECK_MUTANTS seeded bug must be detected by
+// the oracle it targets, deterministically, and must leave a replayable
+// repro trace (the recorded request trace re-triggers the same oracle under
+// checked replay). In builds without -DMRA_CHECK_MUTANTS=ON every test
+// SKIPs — the hooks compile to constant-false and cannot be activated.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "check/explore.hpp"
+#include "check/mutant.hpp"
+#include "scenario/registry.hpp"
+
+namespace mra::check {
+namespace {
+
+class MutantTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!mutants_compiled_in()) {
+      GTEST_SKIP() << "build without MRA_CHECK_MUTANTS";
+    }
+  }
+  void TearDown() override { set_active_mutant(Mutant::kNone); }
+
+  /// The standard seeded-bug hunt: paper-phi4 with quick windows and a
+  /// fixed 1 ms perturbation, seed 1 — deterministic by construction.
+  static scenario::ScenarioSpec hunt_spec() {
+    scenario::ScenarioSpec spec = scenario::find_scenario("paper-phi4");
+    spec.warmup = sim::from_ms(200);
+    spec.measure = sim::from_ms(800);
+    spec.system.seed = 1;
+    spec.system.latency_delay_bound = sim::from_ms(1);
+    return spec;
+  }
+
+  static bool has_oracle(const std::vector<Violation>& violations,
+                         const std::string& oracle) {
+    return std::any_of(
+        violations.begin(), violations.end(),
+        [&](const Violation& v) { return v.oracle == oracle; });
+  }
+
+  /// Runs the hunt under `algorithm`, expects `oracle` to fire, and proves
+  /// the recorded trace is a working repro: checked replay (mutant still
+  /// active) re-triggers the same oracle on the same trace.
+  void expect_caught(algo::Algorithm algorithm, const std::string& oracle) {
+    const scenario::ScenarioSpec spec = hunt_spec();
+    CheckOptions opt;
+    const CheckedRun run = run_checked_scenario(spec, algorithm, opt);
+    ASSERT_FALSE(run.violations.empty())
+        << to_string(active_mutant()) << " was not detected";
+    EXPECT_TRUE(has_oracle(run.violations, oracle))
+        << "expected oracle \"" << oracle << "\", got \""
+        << run.violations.front().oracle << "\": "
+        << run.violations.front().detail;
+    EXPECT_FALSE(run.violations.front().recent_events.empty());
+
+    ASSERT_FALSE(run.trace.events.empty());
+    const std::vector<Violation> replayed =
+        check_replay(run.trace, algorithm, MonitorConfig{}, spec.system.seed,
+                     spec.system.latency_delay_bound);
+    EXPECT_TRUE(has_oracle(replayed, oracle))
+        << "repro trace did not re-trigger the " << oracle << " oracle";
+  }
+};
+
+TEST_F(MutantTest, LassPrematureEntryCaughtByMutualExclusion) {
+  set_active_mutant(Mutant::kLassPrematureEntry);
+  expect_caught(algo::Algorithm::kLassWithoutLoan, "mutual-exclusion");
+}
+
+TEST_F(MutantTest, LassDropReleaseCaughtByDeadlock) {
+  set_active_mutant(Mutant::kLassDropRelease);
+  expect_caught(algo::Algorithm::kLassWithoutLoan, "deadlock");
+}
+
+TEST_F(MutantTest, LassSkipCounterReplyCaughtByDeadlock) {
+  set_active_mutant(Mutant::kLassSkipCounterReply);
+  expect_caught(algo::Algorithm::kLassWithoutLoan, "deadlock");
+}
+
+TEST_F(MutantTest, IncrementalReversedAcquireCaughtAsWaitForCycle) {
+  set_active_mutant(Mutant::kIncrementalReversedAcquire);
+  const scenario::ScenarioSpec spec = hunt_spec();
+  CheckOptions opt;
+  const CheckedRun run =
+      run_checked_scenario(spec, algo::Algorithm::kIncremental, opt);
+  ASSERT_FALSE(run.violations.empty());
+  ASSERT_EQ(run.violations.front().oracle, "deadlock");
+  // The cycle is observed *online* from kHold events — before quiescence —
+  // not merely inferred from stuck waiters at the end.
+  EXPECT_NE(run.violations.front().detail.find("wait-for cycle"),
+            std::string::npos)
+      << run.violations.front().detail;
+}
+
+TEST_F(MutantTest, NetFifoViolationCaughtByFifoOracle) {
+  set_active_mutant(Mutant::kNetFifoViolation);
+  // Any message-heavy algorithm works; Incremental floods the tree links.
+  const scenario::ScenarioSpec spec = hunt_spec();
+  CheckOptions opt;
+  opt.record_trace = false;
+  const CheckedRun run =
+      run_checked_scenario(spec, algo::Algorithm::kIncremental, opt);
+  ASSERT_FALSE(run.violations.empty());
+  EXPECT_TRUE(has_oracle(run.violations, "fifo"))
+      << run.violations.front().oracle << ": "
+      << run.violations.front().detail;
+}
+
+TEST_F(MutantTest, MutexNtDropTokenCaughtByDeadlock) {
+  set_active_mutant(Mutant::kMutexNtDropToken);
+  MutexExploreConfig cfg;
+  cfg.protocols = {MutexProtocol::kNaimiTrehel};
+  cfg.num_sites = 6;
+  cfg.requests_per_site = 10;
+  cfg.seeds_per_case = 2;
+  const ExploreReport report = explore_mutex(cfg);
+  ASSERT_FALSE(report.found.empty()) << "dropped token was not detected";
+  EXPECT_TRUE(has_oracle(report.found.front().violations, "deadlock"));
+}
+
+TEST_F(MutantTest, ExplorerMinimizesAndSavesReplayableRepro) {
+  set_active_mutant(Mutant::kLassPrematureEntry);
+  ExploreConfig cfg;
+  cfg.scenarios = {hunt_spec()};
+  cfg.algorithms = {algo::Algorithm::kLassWithoutLoan};
+  cfg.seeds_per_case = 4;
+  cfg.trace_dir = ::testing::TempDir();
+  const ExploreReport report = explore(cfg);
+  ASSERT_FALSE(report.found.empty());
+  const FoundViolation& f = report.found.front();
+  EXPECT_TRUE(f.replay_reproduces);
+  EXPECT_LE(f.minimized_events, f.trace_events);
+  ASSERT_FALSE(f.trace_path.empty());
+
+  // The saved minimized trace is a self-contained repro.
+  const scenario::RequestTrace repro = scenario::load_trace(f.trace_path);
+  EXPECT_EQ(repro.events.size(), f.minimized_events);
+  const std::vector<Violation> replayed =
+      check_replay(repro, algo::Algorithm::kLassWithoutLoan, MonitorConfig{},
+                   f.seed, f.delay_bound);
+  EXPECT_TRUE(has_oracle(replayed, "mutual-exclusion"));
+}
+
+// Clean builds: activation is impossible, so the hooks are inert by
+// construction. This test runs in *both* build flavours.
+TEST(MutantGate, InactiveByDefault) {
+  EXPECT_EQ(active_mutant(), Mutant::kNone);
+  EXPECT_FALSE(mutant_enabled(Mutant::kLassDropRelease));
+}
+
+}  // namespace
+}  // namespace mra::check
