@@ -1,15 +1,25 @@
-// mra_explore — the adversarial schedule explorer CLI: seed-sweeps registry
-// scenarios (and the raw mutex substrates) under randomized latency
-// perturbation with the full conformance-oracle set attached, stops at the
-// first violation, and emits a minimized replayable `# mra-trace v1` repro
-// plus a JSON violation report.
+// mra_explore — the adversarial schedule explorer CLI. Three modes:
+//
+//  * Fuzz (default): seed-sweeps registry scenarios (and the raw mutex /
+//    Chandy-Misra ring substrates) under randomized latency perturbation
+//    with the full conformance-oracle set attached, stops at the first
+//    violation, and emits a minimized replayable repro trace plus a JSON
+//    violation report. --threads shards the sweep without changing any
+//    output; --neighborhood additionally perturbs around a found violation.
+//  * Exhaustive (--exhaustive): systematic enumeration of every same-instant
+//    commutation on a tiny configuration (DPOR-style model checking),
+//    printing coverage stats — schedules explored vs. orderings pruned.
+//  * Replay (--replay): checked replay of a repro trace. `# mra-trace v2`
+//    traces are self-contained (algorithm, perturbation seed, delay bound,
+//    quantum, mutant all embedded) and need no other flags; v1 traces take
+//    the original --algo/--seed/--replay-delay-ns spelling.
 //
 // Examples:
 //   mra_explore --scenario paper-phi4 --algo all --seeds 10 --quick
-//   mra_explore --scenario all --algo lass-loan --seeds 50 --delay-bound-ms 5
-//   mra_explore --mutex all --seeds 10
-//   mra_explore --scenario zipf-hot --algo lass --trace-dir /tmp/repro
-//               --json report.json            (one command, wrapped)
+//   mra_explore --mutex all --seeds 10 --threads 4
+//   mra_explore --exhaustive --mutex nt --sites 3 --requests 2
+//   mra_explore --exhaustive --cm-ring --sites 4
+//   mra_explore --replay /tmp/repro/repro_mutex_nt_s3.mra
 //
 // Exit status: 0 = no violation found, 1 = violation found, 2 = bad usage
 // or configuration error (unknown scenario/algorithm, unwritable output...).
@@ -18,10 +28,12 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "check/dpor.hpp"
 #include "check/explore.hpp"
 #include "check/mutant.hpp"
 #include "check/violation.hpp"
@@ -51,6 +63,19 @@ struct Options {
   std::string trace_dir;
   std::string json_path;
   std::string mutant;  // only meaningful in MRA_CHECK_MUTANTS builds
+
+  // Explorer upgrades ---------------------------------------------------------
+  int threads = 1;           // sweep parallelism (0 = hardware)
+  int neighborhood = 0;      // perturbation variants around a found bug
+  bool exhaustive = false;   // DPOR-style enumeration instead of fuzzing
+  bool cm_ring = false;      // Chandy-Misra ring substrate
+  int sites = 0;             // substrate/tiny-spec override (0 = default)
+  int resources = 0;         // tiny-spec override (0 = default)
+  int requests = 0;          // substrate requests per site (0 = default)
+  std::uint64_t max_schedules = 0;  // exhaustive budget (0 = default)
+  std::uint64_t max_branch = 0;     // per-choice-point cap (0 = default)
+  double quantum_ms = -1.0;  // latency quantization grid (< 0 = default)
+  std::string choices;       // forced choice prefix "0,2,1" (repro mode)
 };
 
 [[noreturn]] void usage(int code) {
@@ -63,12 +88,14 @@ struct Options {
       "                         lass-loan | central | maddi (default all)\n"
       "  --mutex nt|sk|ra|all   also sweep raw mutex substrate(s)\n"
       "  --mutex-only ...       sweep only the mutex substrate(s)\n"
-      "  --replay PATH          checked replay of a repro trace (full oracle\n"
-      "                         set; needs exactly one --algo; exits 1 when\n"
-      "                         the violation re-triggers)\n"
-      "  --seed S               replay: network/protocol seed (default 1)\n"
-      "  --replay-delay-ns N    replay: exact per-message delay bound of the\n"
-      "                         found run (printed in the repro hint)\n"
+      "  --cm-ring              sweep the Chandy-Misra ring substrate\n"
+      "  --replay PATH          checked replay of a repro trace. v2 traces\n"
+      "                         are self-contained; v1 traces need --algo\n"
+      "                         (and --seed / --replay-delay-ns). Exits 1\n"
+      "                         when the violation re-triggers\n"
+      "  --seed S               v1 replay: network/protocol seed (default 1)\n"
+      "  --replay-delay-ns N    v1 replay: exact per-message delay bound of\n"
+      "                         the found run (printed in the repro hint)\n"
       "  --seeds N              seed budget per (scenario, algorithm)\n"
       "                         (default 10)\n"
       "  --base-seed S          first seed of the sweep (default 1)\n"
@@ -78,10 +105,31 @@ struct Options {
       "  --max-msgs-per-cs X    message-complexity bound (default off)\n"
       "  --quick                short scenario windows (CI-friendly)\n"
       "  --keep-going           do not stop the sweep at the first bug\n"
+      "  --threads N            shard the sweep over N threads (0 = all\n"
+      "                         cores). Reports are identical for any N\n"
+      "  --neighborhood K       after a reproducing violation, try K\n"
+      "                         perturbation variants around it and keep the\n"
+      "                         smallest minimized repro\n"
       "  --trace-dir PATH       save repro traces here (default: no traces)\n"
       "  --json PATH            write the violation report as JSON\n"
       "  --mutant NAME          activate a seeded bug (builds with\n"
       "                         -DMRA_CHECK_MUTANTS=ON only)\n"
+      "\n"
+      "Exhaustive mode (DPOR-style model checking on tiny configurations):\n"
+      "  --exhaustive           enumerate every same-instant commutation.\n"
+      "                         With --mutex P: the raw substrate; with\n"
+      "                         --cm-ring: the ring; otherwise one scenario\n"
+      "                         (--scenario NAME, default the tiny built-in\n"
+      "                         config) under one --algo\n"
+      "  --sites N              substrate sites / tiny-spec sites\n"
+      "  --resources M          tiny-spec resources\n"
+      "  --requests R           substrate requests per site\n"
+      "  --max-schedules N      schedule budget (default 20000)\n"
+      "  --max-branch N         alternatives per choice point (default 720)\n"
+      "  --quantum-ms Q         scenario latency quantization grid\n"
+      "                         (default: the network latency)\n"
+      "  --choices 0,2,1        force a choice prefix: replay exactly the\n"
+      "                         schedule a previous run reported\n"
       "\n"
       "Flags also accept the --flag=value spelling.\n";
   std::exit(code);
@@ -102,6 +150,8 @@ Options parse(int argc, char** argv) {
       mutex_only = true;
     } else if (flag_value(argc, argv, i, "--mutex", v)) {
       o.mutexes.push_back(v);
+    } else if (arg == "--cm-ring") {
+      o.cm_ring = true;
     } else if (flag_value(argc, argv, i, "--replay", v)) {
       o.replay_path = v;
     } else if (flag_value(argc, argv, i, "--seed", v)) {
@@ -124,6 +174,34 @@ Options parse(int argc, char** argv) {
       o.quick = true;
     } else if (arg == "--keep-going") {
       o.keep_going = true;
+    } else if (flag_value(argc, argv, i, "--threads", v)) {
+      o.threads = std::atoi(v.c_str());
+      if (o.threads < 0) usage(2);
+    } else if (flag_value(argc, argv, i, "--neighborhood", v)) {
+      o.neighborhood = std::atoi(v.c_str());
+      if (o.neighborhood < 0) usage(2);
+    } else if (arg == "--exhaustive") {
+      o.exhaustive = true;
+    } else if (flag_value(argc, argv, i, "--sites", v)) {
+      o.sites = std::atoi(v.c_str());
+      if (o.sites <= 0) usage(2);
+    } else if (flag_value(argc, argv, i, "--resources", v)) {
+      o.resources = std::atoi(v.c_str());
+      if (o.resources <= 0) usage(2);
+    } else if (flag_value(argc, argv, i, "--requests", v)) {
+      o.requests = std::atoi(v.c_str());
+      if (o.requests <= 0) usage(2);
+    } else if (flag_value(argc, argv, i, "--max-schedules", v)) {
+      o.max_schedules = std::strtoull(v.c_str(), nullptr, 10);
+      if (o.max_schedules == 0) usage(2);
+    } else if (flag_value(argc, argv, i, "--max-branch", v)) {
+      o.max_branch = std::strtoull(v.c_str(), nullptr, 10);
+      if (o.max_branch == 0) usage(2);
+    } else if (flag_value(argc, argv, i, "--quantum-ms", v)) {
+      o.quantum_ms = std::atof(v.c_str());
+      if (o.quantum_ms < 0) usage(2);
+    } else if (flag_value(argc, argv, i, "--choices", v)) {
+      o.choices = v;
     } else if (flag_value(argc, argv, i, "--trace-dir", v)) {
       o.trace_dir = v;
     } else if (flag_value(argc, argv, i, "--json", v)) {
@@ -137,7 +215,8 @@ Options parse(int argc, char** argv) {
       usage(2);
     }
   }
-  if (mutex_only) {
+  if (mutex_only ||
+      (o.cm_ring && o.scenarios.empty() && o.mutexes.empty())) {
     o.scenarios.clear();
     o.algos.clear();
     o.scenarios.push_back("__none__");
@@ -153,9 +232,48 @@ check::MonitorConfig monitor_from(const Options& o) {
   return mc;
 }
 
+check::DporConfig dpor_from(const Options& o) {
+  check::DporConfig cfg;
+  if (o.max_schedules > 0) cfg.max_schedules = o.max_schedules;
+  if (o.max_branch > 0) cfg.max_branch = o.max_branch;
+  if (!o.choices.empty()) {
+    std::istringstream is(o.choices);
+    std::string tok;
+    while (std::getline(is, tok, ',')) {
+      if (tok.empty()) continue;
+      cfg.forced_prefix.push_back(std::strtoull(tok.c_str(), nullptr, 10));
+    }
+    // A forced prefix is a repro request: run that one schedule and stop.
+    cfg.max_schedules = 1;
+  }
+  return cfg;
+}
+
+std::string choices_to_string(const std::vector<std::uint64_t>& choices) {
+  std::string out;
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(choices[i]);
+  }
+  return out;
+}
+
+void print_exhaustive_stats(const check::ExploreReport& report) {
+  std::cout << "exhaustive: " << report.schedules_executed
+            << " schedule(s) executed, " << report.choice_points
+            << " choice point(s), " << report.orderings_pruned
+            << " ordering(s) pruned by the partial-order reduction ("
+            << (report.exhaustive_complete
+                    ? "complete"
+                    : (report.exhaustive_truncated ? "truncated"
+                                                   : "stopped at violation"))
+            << ")\n";
+}
+
 void print_report(const Options& o, const check::ExploreReport& report) {
   std::cout << "runs: " << report.runs
             << ", violating: " << report.violating_runs << "\n";
+  if (o.exhaustive) print_exhaustive_stats(report);
   for (const check::FoundViolation& f : report.found) {
     std::cout << "\nVIOLATION in " << f.scenario << " / " << f.algorithm
               << " (seed " << f.seed << ", delay bound "
@@ -173,20 +291,23 @@ void print_report(const Options& o, const check::ExploreReport& report) {
         std::cout << "    " << events[i] << "\n";
       }
     }
+    if (!f.commutation.empty()) {
+      std::cout << "  schedule (choice stack): "
+                << choices_to_string(f.commutation)
+                << "  (rerun with --choices to force it)\n";
+    }
+    if (f.neighborhood_tried > 0) {
+      std::cout << "  neighborhood: " << f.neighborhood_violating << "/"
+                << f.neighborhood_tried << " perturbation variants also "
+                << "violate\n";
+    }
     if (!f.trace_path.empty()) {
-      // A checked replay needs the perturbed network (and active mutant, if
-      // any) re-created, which only this tool can do — hence mra_explore
-      // --replay, not mra_scenarios --replay.
       std::cout << "  repro trace: " << f.trace_path << " ("
                 << f.minimized_events << "/" << f.trace_events
                 << " events after minimization)\n"
-                << "  replay: mra_explore --replay " << f.trace_path
-                << " --algo " << f.algorithm << " --seed " << f.seed
-                << " --replay-delay-ns " << f.delay_bound;
-      if (check::active_mutant() != check::Mutant::kNone) {
-        std::cout << " --mutant " << check::to_string(check::active_mutant());
-      }
-      std::cout << "\n";
+                // v2 traces embed algorithm, seed, delay bound, quantum and
+                // mutant — the path alone reproduces the run.
+                << "  replay: mra_explore --replay " << f.trace_path << "\n";
     } else {
       // The perturbation draw is a function of (run seed, case, bound), so
       // this exact invocation re-creates the violating run bit for bit.
@@ -204,11 +325,20 @@ void write_report_json(const std::string& path, const Options& o,
     throw std::runtime_error("cannot open " + path + " for writing");
   }
   os << "{\n  \"tool\": \"mra_explore\",\n";
+  os << "  \"mode\": \"" << (o.exhaustive ? "exhaustive" : "fuzz") << "\",\n";
   os << "  \"seeds_per_case\": " << o.seeds << ",\n";
   os << "  \"base_seed\": " << o.base_seed << ",\n";
   os << "  \"delay_bound_ms\": " << o.delay_bound_ms << ",\n";
   os << "  \"runs\": " << report.runs << ",\n";
   os << "  \"violating_runs\": " << report.violating_runs << ",\n";
+  os << "  \"coverage\": {\n";
+  os << "    \"schedules_executed\": " << report.schedules_executed << ",\n";
+  os << "    \"choice_points\": " << report.choice_points << ",\n";
+  os << "    \"orderings_pruned\": " << report.orderings_pruned << ",\n";
+  os << "    \"complete\": "
+     << (report.exhaustive_complete ? "true" : "false") << ",\n";
+  os << "    \"truncated\": "
+     << (report.exhaustive_truncated ? "true" : "false") << "\n  },\n";
   os << "  \"found\": [";
   for (std::size_t i = 0; i < report.found.size(); ++i) {
     const check::FoundViolation& f = report.found[i];
@@ -225,6 +355,11 @@ void write_report_json(const std::string& path, const Options& o,
     os << "      \"minimized_events\": " << f.minimized_events << ",\n";
     os << "      \"replay_reproduces\": "
        << (f.replay_reproduces ? "true" : "false") << ",\n";
+    os << "      \"commutation\": \"" << choices_to_string(f.commutation)
+       << "\",\n";
+    os << "      \"neighborhood_tried\": " << f.neighborhood_tried << ",\n";
+    os << "      \"neighborhood_violating\": " << f.neighborhood_violating
+       << ",\n";
     os << "      \"violations\": ";
     check::write_violations_json(os, f.violations, 6);
     os << "\n    }";
@@ -232,6 +367,98 @@ void write_report_json(const std::string& path, const Options& o,
   if (!report.found.empty()) os << "\n  ";
   os << "]\n}\n";
   std::cout << "(json: " << path << ")\n";
+}
+
+int run_replay(const Options& o, const check::MonitorConfig& mc) {
+  const scenario::RequestTrace trace = scenario::load_trace(o.replay_path);
+  std::vector<check::Violation> violations;
+  if (!trace.algorithm.empty() && o.algos.empty()) {
+    // Self-contained v2 trace: everything comes from the header.
+    std::cout << "replaying v2 trace: algorithm " << trace.algorithm
+              << ", seed " << trace.seed << ", delay bound "
+              << sim::to_ms(trace.latency_delay_bound) << "ms";
+    if (!trace.mutant.empty()) std::cout << ", mutant " << trace.mutant;
+    std::cout << "\n";
+    violations = check::check_replay(trace, mc);
+  } else {
+    if (o.algos.size() != 1 || o.algos[0] == "all") {
+      std::cerr << "--replay of a v1 trace needs exactly one --algo\n";
+      return 2;
+    }
+    violations = check::check_replay(trace,
+                                     algo::algorithm_from_name(o.algos[0]),
+                                     mc, o.replay_seed, o.replay_delay_ns);
+  }
+  std::cout << "replayed " << trace.events.size() << " events: "
+            << violations.size() << " violation(s)\n";
+  for (const check::Violation& v : violations) {
+    std::cout << "  [" << v.oracle << "] at " << sim::to_ms(v.at)
+              << "ms: " << v.detail << "\n";
+  }
+  return violations.empty() ? 0 : 1;
+}
+
+int run_exhaustive(const Options& o, const check::MonitorConfig& mc) {
+  const check::DporConfig dpor = dpor_from(o);
+  check::ExploreReport report;
+  if (!o.mutexes.empty()) {
+    check::MutexExploreConfig cfg;
+    cfg.monitor = mc;
+    cfg.base_seed = o.base_seed;
+    cfg.trace_dir = o.trace_dir;
+    if (o.sites > 0) cfg.num_sites = o.sites;
+    if (o.requests > 0) cfg.requests_per_site = o.requests;
+    if (o.mutexes.size() == 1 && o.mutexes[0] == "all") {
+      cfg.protocols = check::all_mutex_protocols();
+    } else {
+      for (const std::string& name : o.mutexes) {
+        cfg.protocols.push_back(check::mutex_protocol_from_name(name));
+      }
+    }
+    // One protocol per exhaustive run keeps the schedule count meaningful.
+    report = check::explore_mutex_exhaustive(cfg, dpor);
+  } else if (o.cm_ring) {
+    check::CmRingExploreConfig cfg;
+    cfg.monitor = mc;
+    cfg.base_seed = o.base_seed;
+    cfg.trace_dir = o.trace_dir;
+    if (o.sites > 0) cfg.num_sites = o.sites;
+    if (o.requests > 0) cfg.requests_per_site = o.requests;
+    report = check::explore_cm_ring_exhaustive(cfg, dpor);
+  } else {
+    scenario::ScenarioSpec spec;
+    if (o.scenarios.empty() ||
+        (o.scenarios.size() == 1 && (o.scenarios[0] == "all" ||
+                                     o.scenarios[0] == "tiny"))) {
+      spec = check::tiny_exhaustive_spec(o.sites > 0 ? o.sites : 3,
+                                         o.resources > 0 ? o.resources : 2);
+    } else {
+      spec = scenario::find_scenario(o.scenarios[0]);
+      if (o.quick) {
+        spec.warmup = sim::from_ms(200);
+        spec.measure = sim::from_ms(800);
+      }
+    }
+    if (o.quantum_ms >= 0) {
+      spec.system.latency_quantum =
+          static_cast<sim::SimDuration>(o.quantum_ms * 1e6);
+    } else if (spec.system.latency_quantum == 0) {
+      spec.system.latency_quantum = spec.system.network_latency;
+    }
+    algo::Algorithm alg = algo::Algorithm::kLassWithLoan;
+    if (!o.algos.empty() && o.algos[0] != "all") {
+      if (o.algos.size() != 1) {
+        std::cerr << "--exhaustive explores one --algo at a time\n";
+        return 2;
+      }
+      alg = algo::algorithm_from_name(o.algos[0]);
+    }
+    report = check::explore_scenario_exhaustive(spec, alg, mc, dpor,
+                                                o.trace_dir);
+  }
+  print_report(o, report);
+  if (!o.json_path.empty()) write_report_json(o.json_path, o, report);
+  return report.found.empty() ? 0 : 1;
 }
 
 }  // namespace
@@ -259,24 +486,8 @@ int main(int argc, char** argv) {
 
     const check::MonitorConfig mc = monitor_from(o);
 
-    if (!o.replay_path.empty()) {
-      if (o.algos.size() != 1 || o.algos[0] == "all") {
-        std::cerr << "--replay needs exactly one --algo\n";
-        return 2;
-      }
-      const scenario::RequestTrace trace =
-          scenario::load_trace(o.replay_path);
-      const std::vector<check::Violation> violations = check::check_replay(
-          trace, algo::algorithm_from_name(o.algos[0]), mc, o.replay_seed,
-          o.replay_delay_ns);
-      std::cout << "replayed " << trace.events.size() << " events: "
-                << violations.size() << " violation(s)\n";
-      for (const check::Violation& v : violations) {
-        std::cout << "  [" << v.oracle << "] at " << sim::to_ms(v.at)
-                  << "ms: " << v.detail << "\n";
-      }
-      return violations.empty() ? 0 : 1;
-    }
+    if (!o.replay_path.empty()) return run_replay(o, mc);
+    if (o.exhaustive) return run_exhaustive(o, mc);
 
     check::ExploreReport total;
 
@@ -291,6 +502,8 @@ int main(int argc, char** argv) {
           static_cast<sim::SimDuration>(o.delay_bound_ms * 1e6);
       cfg.stop_on_first = !o.keep_going;
       cfg.trace_dir = o.trace_dir;
+      cfg.threads = o.threads;
+      cfg.neighborhood_variants = o.neighborhood;
       if (o.scenarios.empty() ||
           (o.scenarios.size() == 1 && o.scenarios[0] == "all")) {
         cfg.scenarios = scenario::registry();
@@ -325,6 +538,10 @@ int main(int argc, char** argv) {
       mcfg.delay_bound =
           static_cast<sim::SimDuration>(o.delay_bound_ms * 1e6);
       mcfg.stop_on_first = !o.keep_going;
+      mcfg.threads = o.threads;
+      mcfg.trace_dir = o.trace_dir;
+      if (o.sites > 0) mcfg.num_sites = o.sites;
+      if (o.requests > 0) mcfg.requests_per_site = o.requests;
       if (o.mutexes.size() == 1 && o.mutexes[0] == "all") {
         mcfg.protocols = check::all_mutex_protocols();
       } else {
@@ -336,6 +553,26 @@ int main(int argc, char** argv) {
       total.runs += mutex_report.runs;
       total.violating_runs += mutex_report.violating_runs;
       for (const check::FoundViolation& f : mutex_report.found) {
+        total.found.push_back(f);
+      }
+    }
+
+    if (o.cm_ring && (total.found.empty() || o.keep_going)) {
+      check::CmRingExploreConfig ccfg;
+      ccfg.monitor = mc;
+      ccfg.seeds_per_case = o.seeds;
+      ccfg.base_seed = o.base_seed;
+      ccfg.delay_bound =
+          static_cast<sim::SimDuration>(o.delay_bound_ms * 1e6);
+      ccfg.stop_on_first = !o.keep_going;
+      ccfg.threads = o.threads;
+      ccfg.trace_dir = o.trace_dir;
+      if (o.sites > 0) ccfg.num_sites = o.sites;
+      if (o.requests > 0) ccfg.requests_per_site = o.requests;
+      const check::ExploreReport cm_report = check::explore_cm_ring(ccfg);
+      total.runs += cm_report.runs;
+      total.violating_runs += cm_report.violating_runs;
+      for (const check::FoundViolation& f : cm_report.found) {
         total.found.push_back(f);
       }
     }

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "check/mutant.hpp"
 #include "net/network.hpp"
 
 namespace mra::algo {
@@ -28,6 +29,11 @@ void BouabdallahLaforestNode::on_start() {
   control_ = std::make_unique<mutex::NaimiTrehelEngine<ControlToken>>(
       id(), cfg_.elected_node, /*instance=*/0,
       [this](SiteId dst, std::unique_ptr<net::Message> msg) {
+        if (check::mutant_enabled(check::Mutant::kBlControlTokenLoss) &&
+            dynamic_cast<mutex::NtTokenMsg<ControlToken>*>(msg.get()) !=
+                nullptr) {
+          return;  // seeded bug: the control token vanishes in transit
+        }
         network_->send(id(), dst, std::move(msg));
       },
       [this]() { on_control_token_granted(); });

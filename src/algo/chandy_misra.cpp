@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "check/mutant.hpp"
 #include "net/network.hpp"
 
 namespace mra::algo {
@@ -102,6 +103,12 @@ void ChandyMisraNode::request_missing_forks() {
 void ChandyMisraNode::enter_bottle_phase() {
   assert(phase_ == Phase::kForks && all_forks_held());
   phase_ = Phase::kBottles;
+  if (check::mutant_enabled(check::Mutant::kCmForkBottleConfusion)) {
+    // Seeded bug: treat the won forks as if they were the bottles and drink
+    // immediately — two neighbours can then drink the shared edge at once.
+    complete_bottle_phase();
+    return;
+  }
   if (all_bottles_held()) {
     complete_bottle_phase();
     return;

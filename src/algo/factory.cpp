@@ -75,6 +75,10 @@ AllocationSystem::AllocationSystem(const SystemConfig& config) : cfg_(config) {
   } else {
     latency = net::make_fixed_latency(config.network_latency);
   }
+  if (config.latency_quantum > 0) {
+    latency =
+        net::make_quantized_latency(std::move(latency), config.latency_quantum);
+  }
   net_ = std::make_unique<net::Network>(*sim_, std::move(latency), config.seed);
 
   switch (config.algorithm) {

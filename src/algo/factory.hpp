@@ -53,6 +53,13 @@ struct SystemConfig {
   /// topologies.
   sim::SimDuration latency_delay_bound = 0;
 
+  /// Model-checking aid (src/check/dpor.*): when > 0, latency samples are
+  /// rounded *up* to a multiple of this quantum, aligning deliveries onto a
+  /// shared grid so independent messages collide at the same instant and the
+  /// exhaustive explorer can enumerate their commutations. Applied on top of
+  /// whichever model the knobs above selected.
+  sim::SimDuration latency_quantum = 0;
+
   /// Two-level topology (the paper's §6 future-work target). When
   /// hierarchical_clusters > 1, sites are split into equal clusters;
   /// intra-cluster messages cost network_latency, inter-cluster messages

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "check/mutant.hpp"
 #include "net/network.hpp"
 
 namespace mra::algo {
@@ -55,7 +56,12 @@ void MaddiNode::do_request(const ResourceSet& resources) {
   ++request_seq_;
   current_ = resources;
   state_ = ProcessState::kWaitCS;
-  my_timestamp_ = ++clock_;
+  ++clock_;
+  // Seeded bug: a constant timestamp degenerates the (ts, site) total order
+  // into plain site-id priority, starving high-id sites under contention.
+  my_timestamp_ =
+      check::mutant_enabled(check::Mutant::kMaddiTimestampRegression) ? 1
+                                                                      : clock_;
   if (trace_ != nullptr && trace_->enabled()) {
     trace_->log(network_->simulator().now(), id(),
                 "Request_CS ts=" + std::to_string(my_timestamp_) + " " +

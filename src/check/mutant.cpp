@@ -15,6 +15,10 @@ const char* to_string(Mutant m) {
       return "incremental-reversed-acquire";
     case Mutant::kNetFifoViolation: return "net-fifo-violation";
     case Mutant::kMutexNtDropToken: return "mutex-nt-drop-token";
+    case Mutant::kBlControlTokenLoss: return "bl-control-token-loss";
+    case Mutant::kMaddiTimestampRegression:
+      return "maddi-timestamp-regression";
+    case Mutant::kCmForkBottleConfusion: return "cm-fork-bottle-confusion";
   }
   return "?";
 }
@@ -23,7 +27,10 @@ Mutant mutant_from_name(const char* name) {
   for (Mutant m : {Mutant::kLassPrematureEntry, Mutant::kLassDropRelease,
                    Mutant::kLassSkipCounterReply,
                    Mutant::kIncrementalReversedAcquire,
-                   Mutant::kNetFifoViolation, Mutant::kMutexNtDropToken}) {
+                   Mutant::kNetFifoViolation, Mutant::kMutexNtDropToken,
+                   Mutant::kBlControlTokenLoss,
+                   Mutant::kMaddiTimestampRegression,
+                   Mutant::kCmForkBottleConfusion}) {
     if (std::strcmp(name, to_string(m)) == 0) return m;
   }
   return Mutant::kNone;

@@ -34,6 +34,18 @@ enum class Mutant {
   /// Naimi-Tréhel release() drops the token instead of forwarding it to the
   /// queued next requester -> deadlock oracle (mutex explorer mode).
   kMutexNtDropToken,
+  /// Bouabdallah-Laforest loses the control token in transit (the inner
+  /// Naimi-Tréhel send drops NtTokenMsg<ControlToken>) -> deadlock
+  /// (stuck-at-quiescence) oracle.
+  kBlControlTokenLoss,
+  /// Maddi stamps every request with timestamp 1 instead of the Lamport
+  /// clock, so ties always break by site id -> starvation oracle (high-id
+  /// sites wait forever under contention).
+  kMaddiTimestampRegression,
+  /// Chandy-Misra skips the bottle phase: on winning all forks the site
+  /// drinks immediately as if the bottles were already held -> per-resource
+  /// mutual-exclusion oracle.
+  kCmForkBottleConfusion,
 };
 
 [[nodiscard]] const char* to_string(Mutant m);

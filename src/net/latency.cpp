@@ -21,4 +21,9 @@ std::unique_ptr<LatencyModel> make_hierarchical_latency(
   return std::make_unique<HierarchicalLatency>(cluster_size, local, remote);
 }
 
+std::unique_ptr<LatencyModel> make_quantized_latency(
+    std::unique_ptr<LatencyModel> inner, sim::SimDuration quantum) {
+  return std::make_unique<QuantizedLatency>(std::move(inner), quantum);
+}
+
 }  // namespace mra::net

@@ -84,6 +84,27 @@ class HierarchicalLatency final : public LatencyModel {
   sim::SimDuration remote_;
 };
 
+/// Rounds another model's samples *up* to a multiple of `quantum`, aligning
+/// deliveries onto a shared time grid. With grid-aligned send times this
+/// makes independent messages collide at the same instant — which is exactly
+/// what the exhaustive explorer (src/check/dpor.*) enumerates: same-instant
+/// commutations. quantum <= 0 passes samples through unchanged.
+class QuantizedLatency final : public LatencyModel {
+ public:
+  QuantizedLatency(std::unique_ptr<LatencyModel> inner,
+                   sim::SimDuration quantum)
+      : inner_(std::move(inner)), quantum_(quantum) {}
+  sim::SimDuration sample(int src, int dst, sim::Rng& rng) override {
+    const sim::SimDuration raw = inner_->sample(src, dst, rng);
+    if (quantum_ <= 0 || raw <= 0) return raw;
+    return (raw + quantum_ - 1) / quantum_ * quantum_;
+  }
+
+ private:
+  std::unique_ptr<LatencyModel> inner_;
+  sim::SimDuration quantum_;
+};
+
 /// Factory helpers.
 std::unique_ptr<LatencyModel> make_fixed_latency(sim::SimDuration latency);
 std::unique_ptr<LatencyModel> make_uniform_jitter_latency(
@@ -92,5 +113,7 @@ std::unique_ptr<LatencyModel> make_bounded_delay_latency(
     sim::SimDuration base, sim::SimDuration bound);
 std::unique_ptr<LatencyModel> make_hierarchical_latency(
     int cluster_size, sim::SimDuration local, sim::SimDuration remote);
+std::unique_ptr<LatencyModel> make_quantized_latency(
+    std::unique_ptr<LatencyModel> inner, sim::SimDuration quantum);
 
 }  // namespace mra::net

@@ -85,8 +85,11 @@ void Network::deliver(SiteId src, SiteId dst, std::unique_ptr<Message> msg,
     ev.bytes = static_cast<std::uint32_t>(size);
     observer_->on_event(ev);
 
+    // Deliveries commute across destination sites (disjoint node state; the
+    // per-link FIFO watermark was already advanced above), so tag with dst
+    // for the model checker's same-instant commutation analysis.
     Node* target = nodes_[static_cast<std::size_t>(dst)];
-    sim_.schedule_at(at, [this, target, src, msg_id,
+    sim_.schedule_at(at, static_cast<int>(dst), [this, target, src, msg_id,
                           owned = std::move(msg)]() {
       if (observer_ != nullptr) {
         check::Event dev;
@@ -110,9 +113,10 @@ void Network::deliver(SiteId src, SiteId dst, std::unique_ptr<Message> msg,
   // block and no closure heap allocation (the capture fits the callback's
   // inline buffer). Pool recycling in ~Message closes the loop.
   Node* target = nodes_[static_cast<std::size_t>(dst)];
-  sim_.schedule_at(at, [target, src, owned = std::move(msg)]() {
-    target->on_message(src, *owned);
-  });
+  sim_.schedule_at(at, static_cast<int>(dst),
+                   [target, src, owned = std::move(msg)]() {
+                     target->on_message(src, *owned);
+                   });
 }
 
 void Network::reset_stats() {

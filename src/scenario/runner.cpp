@@ -4,6 +4,8 @@
 #include <deque>
 #include <functional>
 
+#include "check/mutant.hpp"
+
 namespace mra::scenario {
 
 ScenarioDriver::ScenarioDriver(AllocatorNode& node, sim::Simulator& simulator,
@@ -26,8 +28,10 @@ ScenarioDriver::ScenarioDriver(AllocatorNode& node, sim::Simulator& simulator,
 void ScenarioDriver::start() { schedule_next_birth(); }
 
 void ScenarioDriver::schedule_next_birth() {
+  // Tagged with the site id: births at different sites touch disjoint driver
+  // and node state, so the model checker may commute them within an instant.
   sim_.schedule_in(arrival_->next_delay(sim_.now(), rng_),
-                   [this]() { make_request(); });
+                   static_cast<int>(node_.id()), [this]() { make_request(); });
 }
 
 void ScenarioDriver::make_request() {
@@ -67,7 +71,8 @@ void ScenarioDriver::on_granted() {
                       node_.current_request());
   // release() must not run inside the grant callback (protocols may still be
   // mid-handler), so even a zero-length CS goes through the event queue.
-  sim_.schedule_in(current_cs_, [this]() { on_cs_done(); });
+  sim_.schedule_in(current_cs_, static_cast<int>(node_.id()),
+                   [this]() { on_cs_done(); });
 }
 
 void ScenarioDriver::on_cs_done() {
@@ -104,6 +109,15 @@ ScenarioRunner::ScenarioRunner(algo::AllocationSystem& system,
         spec.system.hierarchical_clusters > 1
             ? spec.system.hierarchical_remote_latency
             : 0;
+    // v2 provenance: everything replay needs to reproduce the run with no
+    // flags — the algorithm, the perturbation model, any seeded bug. The
+    // writer stays on the v1 magic when none of these are set.
+    record->algorithm = algo::cli_name(spec.system.algorithm);
+    record->latency_delay_bound = spec.system.latency_delay_bound;
+    record->latency_quantum = spec.system.latency_quantum;
+    if (check::active_mutant() != check::Mutant::kNone) {
+      record->mutant = check::to_string(check::active_mutant());
+    }
   }
   sim::Rng master(seed);
   for (int i = 0; i < system.num_sites(); ++i) {
@@ -182,7 +196,13 @@ ReplayResult replay_trace(const RequestTrace& trace, algo::Algorithm algorithm,
   sys.hierarchical_clusters = trace.hierarchical_clusters;
   sys.hierarchical_remote_latency = trace.hierarchical_remote_latency;
   sys.latency_jitter = options.latency_jitter;
-  sys.latency_delay_bound = options.latency_delay_bound;
+  // v2 traces carry the perturbation model; explicit options still win so
+  // latency-sensitivity studies can override a recorded schedule.
+  sys.latency_delay_bound = options.latency_delay_bound > 0
+                                ? options.latency_delay_bound
+                                : trace.latency_delay_bound;
+  sys.latency_quantum = options.latency_quantum > 0 ? options.latency_quantum
+                                                    : trace.latency_quantum;
   auto system = algo::AllocationSystem::create(sys);
   system->start();
   if (options.observer != nullptr) {
@@ -230,7 +250,7 @@ ReplayResult replay_trace(const RequestTrace& trace, algo::Algorithm algorithm,
       busy |= rs;
       collector.on_grant(sim.now(), s, system->node(s).current_request_id(),
                          rs);
-      sim.schedule_in(st.cs, [&, s]() {
+      sim.schedule_in(st.cs, static_cast<int>(s), [&, s]() {
         const ResourceSet held = system->node(s).current_request();
         busy -= held;
         collector.on_release(sim.now(), s,
@@ -243,7 +263,7 @@ ReplayResult replay_trace(const RequestTrace& trace, algo::Algorithm algorithm,
   }
 
   for (const TraceEvent& ev : trace.events) {
-    sim.schedule_at(ev.at, [&, e = &ev]() {
+    sim.schedule_at(ev.at, static_cast<int>(ev.site), [&, e = &ev]() {
       sites[static_cast<std::size_t>(e->site)].pending.push_back(e);
       dispatch(e->site);
     });

@@ -116,6 +116,8 @@ struct ReplayOptions {
   /// > 0: extra uniform per-message delay in [0, bound] — re-creates the
   /// schedule explorer's perturbed network (src/check/explore.hpp).
   sim::SimDuration latency_delay_bound = 0;
+  /// > 0: round latencies up onto this grid (model-checking replays).
+  sim::SimDuration latency_quantum = 0;
   std::size_t size_buckets = 6;
   /// Conformance observer wired into the replayed system's simulator,
   /// network and nodes (typically a check::Monitor). Borrowed; must outlive

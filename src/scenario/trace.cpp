@@ -11,7 +11,9 @@
 namespace mra::scenario {
 
 namespace {
-constexpr const char* kMagic = "# mra-trace v1";
+constexpr const char* kMagicV1 = "# mra-trace v1";
+constexpr const char* kMagicV2 = "# mra-trace v2";
+constexpr const char* kMagicPrefix = "# mra-trace ";
 }
 
 void RequestTrace::validate() const {
@@ -25,6 +27,10 @@ void RequestTrace::validate() const {
       hierarchical_remote_latency < 0) {
     throw std::invalid_argument(
         "trace: need latency_ns >= 0, clusters >= 1, wan_ns >= 0");
+  }
+  if (latency_delay_bound < 0 || latency_quantum < 0) {
+    throw std::invalid_argument(
+        "trace: need delay_bound_ns >= 0, quantum_ns >= 0");
   }
   for (std::size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& e = events[i];
@@ -59,7 +65,7 @@ int RequestTrace::max_request_size() const {
 }
 
 void write_trace(std::ostream& os, const RequestTrace& trace) {
-  os << kMagic << "\n";
+  os << (trace.has_v2_fields() ? kMagicV2 : kMagicV1) << "\n";
   if (!trace.scenario.empty()) os << "scenario " << trace.scenario << "\n";
   os << "sites " << trace.num_sites << "\n";
   os << "resources " << trace.num_resources << "\n";
@@ -69,6 +75,14 @@ void write_trace(std::ostream& os, const RequestTrace& trace) {
     os << "clusters " << trace.hierarchical_clusters << "\n";
     os << "wan_ns " << trace.hierarchical_remote_latency << "\n";
   }
+  if (!trace.algorithm.empty()) os << "algorithm " << trace.algorithm << "\n";
+  if (trace.latency_delay_bound > 0) {
+    os << "delay_bound_ns " << trace.latency_delay_bound << "\n";
+  }
+  if (trace.latency_quantum > 0) {
+    os << "quantum_ns " << trace.latency_quantum << "\n";
+  }
+  if (!trace.mutant.empty()) os << "mutant " << trace.mutant << "\n";
   for (const TraceEvent& e : trace.events) {
     os << e.at << " " << e.site << " " << e.cs << " ";
     for (std::size_t i = 0; i < e.resources.size(); ++i) {
@@ -87,9 +101,14 @@ void save_trace(const std::string& path, const RequestTrace& trace) {
 
 RequestTrace read_trace(std::istream& is) {
   std::string line;
-  if (!std::getline(is, line) || line != kMagic) {
+  if (!std::getline(is, line) || line.rfind(kMagicPrefix, 0) != 0) {
     throw std::runtime_error("trace: missing magic line \"" +
-                             std::string(kMagic) + "\"");
+                             std::string(kMagicV1) + "\"");
+  }
+  const bool v2 = line == kMagicV2;
+  if (!v2 && line != kMagicV1) {
+    throw std::runtime_error("trace: unsupported trace version \"" + line +
+                             "\" (this build reads v1 and v2)");
   }
   RequestTrace trace;
   std::size_t line_no = 1;
@@ -133,6 +152,14 @@ RequestTrace read_trace(std::istream& is) {
         ls >> trace.hierarchical_clusters;
       } else if (key == "wan_ns") {
         ls >> trace.hierarchical_remote_latency;
+      } else if (v2 && key == "algorithm") {
+        ls >> trace.algorithm;
+      } else if (v2 && key == "delay_bound_ns") {
+        ls >> trace.latency_delay_bound;
+      } else if (v2 && key == "quantum_ns") {
+        ls >> trace.latency_quantum;
+      } else if (v2 && key == "mutant") {
+        ls >> trace.mutant;
       } else {
         throw std::runtime_error("trace line " + std::to_string(line_no) +
                                  ": unknown header key \"" + key + "\"");

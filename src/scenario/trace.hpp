@@ -24,6 +24,22 @@
 // replay rebuild the topology the trace was recorded under — replaying a
 // WAN-recorded trace on a flat 0.6 ms network would silently change what is
 // being measured.
+//
+// `# mra-trace v2` extends v1 with self-contained repro provenance, so a
+// trace alone (no command-line flags) replays bit-identically:
+//
+//   # mra-trace v2
+//   ...v1 headers...
+//   algorithm lass-loan         (what to replay the trace against)
+//   delay_bound_ns 1000000      (BoundedDelayLatency perturbation bound)
+//   quantum_ns 600000           (latency quantization grid, model checking)
+//   mutant bl-control-token-loss  (seeded bug active during the run)
+//
+// All v2 keys are optional; in v2 the `seed` header is the *perturbation*
+// seed that replay must honor to reproduce the latency schedule. Writers
+// emit the v2 magic only when a v2 key is set, so plain request traces stay
+// v1 and diff-stable. Readers accept both versions; any other version line
+// is rejected with a named "unsupported trace version" error.
 #pragma once
 
 #include <cstdint>
@@ -57,6 +73,19 @@ struct RequestTrace {
   int hierarchical_clusters = 1;  ///< > 1: two-level topology
   sim::SimDuration hierarchical_remote_latency = 0;
 
+  // v2 provenance (all optional; see format comment above) -------------------
+  std::string algorithm;  ///< CLI name to replay against; empty = caller picks
+  sim::SimDuration latency_delay_bound = 0;  ///< perturbation bound
+  sim::SimDuration latency_quantum = 0;      ///< quantization grid
+  std::string mutant;  ///< seeded bug active during the run, may be empty
+
+  /// True when any v2 provenance field is set — the writer then emits the
+  /// v2 magic; a pure-v1 trace round-trips byte-identically as v1.
+  [[nodiscard]] bool has_v2_fields() const {
+    return !algorithm.empty() || latency_delay_bound > 0 ||
+           latency_quantum > 0 || !mutant.empty();
+  }
+
   std::vector<TraceEvent> events;
 
   /// Structural checks: positive dimensions, sites/resources in range,
@@ -68,11 +97,12 @@ struct RequestTrace {
   [[nodiscard]] int max_request_size() const;
 };
 
-/// Serializes in the v1 line format above.
+/// Serializes in the line format above: v2 magic iff has_v2_fields().
 void write_trace(std::ostream& os, const RequestTrace& trace);
 void save_trace(const std::string& path, const RequestTrace& trace);
 
-/// Parses the v1 format. Throws std::runtime_error on malformed input and
+/// Parses the v1 or v2 format. Throws std::runtime_error on malformed input
+/// (including "unsupported trace version" for any other version line) and
 /// std::invalid_argument when the parsed trace fails validate().
 [[nodiscard]] RequestTrace read_trace(std::istream& is);
 [[nodiscard]] RequestTrace load_trace(const std::string& path);

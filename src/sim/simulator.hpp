@@ -8,10 +8,12 @@
 // thread pool, see experiment/sweep.hpp), never inside one simulation.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -21,6 +23,25 @@ class Observer;
 }  // namespace mra::check
 
 namespace mra::sim {
+
+/// Lets a model checker (src/check/dpor.*) reorder *commuting* same-instant
+/// events. When attached, the run loop drains each instant in rounds: all
+/// events already queued at the instant are extracted into a batch, the hook
+/// picks an execution order, and events the batch schedules for the same
+/// instant form the next round — so the identity order reproduces the plain
+/// (time, seq) contract exactly.
+class CommutationHook {
+ public:
+  virtual ~CommutationHook() = default;
+
+  /// One round at instant `at`: `tags` lists the batch's commute tags in
+  /// canonical (time, seq) order, `order` arrives as the identity
+  /// permutation of [0, tags.size()) and may be permuted in place. Events
+  /// with equal tags are dependent (same site); events with different tags
+  /// commute. Tag kNoCommuteTag marks an event dependent with everything.
+  virtual void on_round(SimTime at, const std::vector<int>& tags,
+                        std::vector<std::size_t>& order) = 0;
+};
 
 /// Thrown when a simulation exceeds its event budget — in this project that
 /// always means a protocol livelock (e.g. a message forwarded forever), so
@@ -42,21 +63,41 @@ class Simulator {
   /// Current simulated time.
   [[nodiscard]] SimTime now() const { return now_; }
 
+  /// Events without a meaningful commute tag: dependent with everything, so
+  /// an attached CommutationHook never reorders them across other events.
+  static constexpr int kNoCommuteTag = -1;
+
   /// Schedules `cb` to run `delay` after now. Negative delays are clamped to
   /// zero (fires this instant, after already-queued same-instant events).
   EventId schedule_in(SimDuration delay, EventQueue::Callback cb) {
+    return schedule_in(delay, kNoCommuteTag, std::move(cb));
+  }
+
+  /// Same, tagged for commutation analysis (see set_commutation_hook).
+  EventId schedule_in(SimDuration delay, int commute_tag,
+                      EventQueue::Callback cb) {
     if (delay < 0) delay = 0;
-    return queue_.schedule(now_ + delay, std::move(cb));
+    return schedule_at(now_ + delay, commute_tag, std::move(cb));
   }
 
   /// Schedules `cb` at absolute time `at` (clamped to now).
   EventId schedule_at(SimTime at, EventQueue::Callback cb) {
+    return schedule_at(at, kNoCommuteTag, std::move(cb));
+  }
+
+  /// Same, tagged for commutation analysis. Without a hook the tag is
+  /// ignored and this is the plain hot path (one predictable branch).
+  EventId schedule_at(SimTime at, int commute_tag, EventQueue::Callback cb) {
     if (at < now_) at = now_;
-    return queue_.schedule(at, std::move(cb));
+    if (hook_ == nullptr) return queue_.schedule(at, std::move(cb));
+    return schedule_deferred(at, commute_tag, std::move(cb));
   }
 
   /// Cancels a scheduled event; no-op if already fired.
-  bool cancel(EventId id) { return queue_.cancel(id); }
+  bool cancel(EventId id) {
+    if (hook_ == nullptr) return queue_.cancel(id);
+    return cancel_deferred(id);
+  }
 
   /// Runs until the event queue drains or `until` is reached, whichever is
   /// first. Events scheduled exactly at `until` do fire. Returns the number
@@ -89,11 +130,44 @@ class Simulator {
   void set_observer(check::Observer* observer) { observer_ = observer; }
   [[nodiscard]] check::Observer* observer() const { return observer_; }
 
+  /// Attaches a commutation hook (model-checking mode). Must be called
+  /// before any event is scheduled: already-queued events would bypass the
+  /// deferral wrappers that feed the hook. Null detaches (same restriction).
+  /// The unhooked scheduling and run-loop paths are unchanged.
+  void set_commutation_hook(CommutationHook* hook) {
+    assert(queue_.empty() && "attach the commutation hook before scheduling");
+    hook_ = hook;
+  }
+  [[nodiscard]] CommutationHook* commutation_hook() const { return hook_; }
+
  private:
+  /// A deferred event in commutation mode: the queue holds a thin wrapper
+  /// that, when fired, appends the slab slot to the current round instead of
+  /// running the callback — the run loop then executes the round in the
+  /// hook's order.
+  struct Deferred {
+    EventQueue::Callback callback;
+    EventId id = 0;
+    int tag = kNoCommuteTag;
+    std::uint32_t next_free = 0;
+    bool live = false;
+  };
+
   std::uint64_t run_loop(SimTime until, const std::function<bool()>* pred);
+  std::uint64_t run_loop_commuting(SimTime until,
+                                   const std::function<bool()>* pred);
+  EventId schedule_deferred(SimTime at, int tag, EventQueue::Callback cb);
+  bool cancel_deferred(EventId id);
+  void release_deferred(std::uint32_t slot);
+
+  static constexpr std::uint32_t kNoDeferredSlot = 0xFFFFFFFFu;
 
   EventQueue queue_;
   check::Observer* observer_ = nullptr;
+  CommutationHook* hook_ = nullptr;
+  std::vector<Deferred> deferred_;       ///< commutation mode only
+  std::vector<std::uint32_t> round_;     ///< slots of the current round
+  std::uint32_t deferred_free_ = kNoDeferredSlot;
   SimTime now_ = kTimeZero;
   std::uint64_t processed_ = 0;
   std::uint64_t event_budget_ = 0;

@@ -62,6 +62,14 @@ class MutantTest : public ::testing::Test {
                      spec.system.latency_delay_bound);
     EXPECT_TRUE(has_oracle(replayed, oracle))
         << "repro trace did not re-trigger the " << oracle << " oracle";
+
+    // The same trace is also a *self-contained* v2 repro: algorithm,
+    // perturbation seed, delay bound and the active mutant all ride in the
+    // header, so the single-argument replay needs no knowledge of this test.
+    EXPECT_TRUE(run.trace.has_v2_fields());
+    EXPECT_EQ(run.trace.mutant, to_string(active_mutant()));
+    EXPECT_TRUE(has_oracle(check_replay(run.trace), oracle))
+        << "self-contained v2 replay did not re-trigger " << oracle;
   }
 };
 
@@ -142,6 +150,88 @@ TEST_F(MutantTest, ExplorerMinimizesAndSavesReplayableRepro) {
       check_replay(repro, algo::Algorithm::kLassWithoutLoan, MonitorConfig{},
                    f.seed, f.delay_bound);
   EXPECT_TRUE(has_oracle(replayed, "mutual-exclusion"));
+}
+
+TEST_F(MutantTest, BlControlTokenLossCaughtByDeadlock) {
+  set_active_mutant(Mutant::kBlControlTokenLoss);
+  expect_caught(algo::Algorithm::kBouabdallahLaforest, "deadlock");
+}
+
+TEST_F(MutantTest, MaddiTimestampRegressionCaughtByStarvation) {
+  // The regression (every request stamped ts = 1) only shows under
+  // *sustained* contention on one resource: pending queues order by
+  // (ts, site), so low-id sites jump the queue forever and a high-id site
+  // starves. On the registry scenarios queues drain between bursts and the
+  // mutant stays latent — hence this dedicated single-hot-resource spec.
+  scenario::ScenarioSpec spec;
+  spec.name = "maddi-contention";
+  spec.system.num_sites = 8;
+  spec.system.num_resources = 1;
+  spec.system.seed = 1;
+  spec.workload.num_resources = 1;
+  spec.workload.phi = 1;
+  spec.workload.alpha_min = sim::from_ms(5);
+  spec.workload.alpha_max = sim::from_ms(10);
+  spec.workload.cs_jitter = 0.0;
+  spec.workload.rho = 0.5;  // heavy closed-loop load: the queue never drains
+  spec.warmup = sim::from_ms(100);
+  spec.measure = sim::from_ms(2900);
+
+  CheckOptions opt;
+  // Honest worst-case wait is ~N * (cs + latency) ~ 100 ms; give 10x slack.
+  opt.monitor.starvation_horizon = sim::from_ms(1000);
+
+  // Healthy baseline: Lamport timestamps keep the queue fair.
+  set_active_mutant(Mutant::kNone);
+  const CheckedRun healthy =
+      run_checked_scenario(spec, algo::Algorithm::kMaddi, opt);
+  ASSERT_TRUE(healthy.violations.empty())
+      << "healthy Maddi trips the dedicated spec: "
+      << healthy.violations.front().oracle << ": "
+      << healthy.violations.front().detail;
+
+  set_active_mutant(Mutant::kMaddiTimestampRegression);
+  const CheckedRun run =
+      run_checked_scenario(spec, algo::Algorithm::kMaddi, opt);
+  ASSERT_FALSE(run.violations.empty()) << "timestamp regression not detected";
+  EXPECT_TRUE(has_oracle(run.violations, "starvation"))
+      << run.violations.front().oracle << ": "
+      << run.violations.front().detail;
+
+  // The recorded trace is a working repro.
+  ASSERT_FALSE(run.trace.events.empty());
+  const std::vector<Violation> replayed =
+      check_replay(run.trace, algo::Algorithm::kMaddi, opt.monitor,
+                   spec.system.seed, spec.system.latency_delay_bound);
+  EXPECT_TRUE(has_oracle(replayed, "starvation"))
+      << "repro trace did not re-trigger the starvation oracle";
+
+  // Self-contained: the v2 header re-activates the mutant by itself.
+  set_active_mutant(Mutant::kNone);
+  EXPECT_TRUE(has_oracle(check_replay(run.trace, opt.monitor), "starvation"))
+      << "v2 repro trace alone did not re-trigger the starvation oracle";
+}
+
+TEST_F(MutantTest, CmForkBottleConfusionCaughtByMutualExclusion) {
+  set_active_mutant(Mutant::kCmForkBottleConfusion);
+  CmRingExploreConfig cfg;
+  cfg.trace_dir = ::testing::TempDir();
+  const ExploreReport report = explore_cm_ring(cfg);
+  ASSERT_FALSE(report.found.empty()) << "bottle-phase skip was not detected";
+  const FoundViolation& f = report.found.front();
+  EXPECT_TRUE(has_oracle(f.violations, "mutual-exclusion"));
+  EXPECT_TRUE(f.replay_reproduces);
+
+  // The saved trace is a self-contained v2 repro: algorithm "cm-ring" and
+  // the mutant ride in the header, so a bare check_replay(trace) — with the
+  // global mutant cleared — re-triggers the violation.
+  ASSERT_FALSE(f.trace_path.empty());
+  const scenario::RequestTrace repro = scenario::load_trace(f.trace_path);
+  EXPECT_EQ(repro.algorithm, "cm-ring");
+  EXPECT_EQ(repro.mutant, "cm-fork-bottle-confusion");
+  set_active_mutant(Mutant::kNone);
+  EXPECT_TRUE(has_oracle(check_replay(repro), "mutual-exclusion"))
+      << "v2 repro trace alone did not re-trigger the violation";
 }
 
 // Clean builds: activation is impossible, so the hooks are inert by

@@ -290,5 +290,110 @@ TEST(Replay, DeterministicMetrics) {
   EXPECT_EQ(a.metrics.use_rate, b.metrics.use_rate);
 }
 
+// --- trace v2 --------------------------------------------------------------
+
+TEST(TraceV2, RecordedTracesCarrySelfContainedProvenance) {
+  ScenarioSpec spec = shrink(find_scenario("hotspot-k4"));
+  spec.system.latency_delay_bound = sim::from_ms(1);
+  const RequestTrace trace =
+      record_scenario(spec, algo::Algorithm::kLassWithLoan);
+  EXPECT_TRUE(trace.has_v2_fields());
+  EXPECT_EQ(trace.algorithm, "lass-loan");
+  EXPECT_EQ(trace.latency_delay_bound, sim::from_ms(1));
+
+  std::stringstream ss;
+  write_trace(ss, trace);
+  std::string first;
+  std::getline(ss, first);
+  EXPECT_EQ(first, "# mra-trace v2");
+  ss.seekg(0);
+  const RequestTrace back = read_trace(ss);
+  EXPECT_EQ(back.algorithm, trace.algorithm);
+  EXPECT_EQ(back.latency_delay_bound, trace.latency_delay_bound);
+  EXPECT_EQ(back.latency_quantum, trace.latency_quantum);
+  EXPECT_EQ(back.mutant, trace.mutant);
+  ASSERT_EQ(back.events.size(), trace.events.size());
+
+  // write -> read -> write is byte-stable.
+  std::stringstream ss2;
+  write_trace(ss2, back);
+  EXPECT_EQ(ss2.str(), ss.str());
+}
+
+TEST(TraceV2, PureV1TracesStillParseAndStayV1) {
+  const std::string v1 =
+      "# mra-trace v1\n"
+      "scenario hand\n"
+      "sites 4\n"
+      "resources 8\n"
+      "seed 7\n"
+      "latency_ns 600000\n"
+      "100 0 50 0,1\n"
+      "200 1 60 2\n";
+  std::stringstream in(v1);
+  const RequestTrace t = read_trace(in);
+  EXPECT_FALSE(t.has_v2_fields());
+  EXPECT_TRUE(t.algorithm.empty());
+  ASSERT_EQ(t.events.size(), 2u);
+
+  // A v2-aware writer keeps a pure-v1 trace in the v1 format, byte-stably.
+  std::stringstream out;
+  write_trace(out, t);
+  EXPECT_EQ(out.str().rfind("# mra-trace v1", 0), 0u);
+  std::stringstream again(out.str());
+  std::stringstream out2;
+  write_trace(out2, read_trace(again));
+  EXPECT_EQ(out2.str(), out.str());
+}
+
+TEST(TraceV2, UnsupportedVersionsAndLeakedV2KeysAreRejected) {
+  std::stringstream v3("# mra-trace v3\nsites 4\nresources 8\nseed 1\n");
+  try {
+    (void)read_trace(v3);
+    FAIL() << "a v3 trace was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported trace version"),
+              std::string::npos)
+        << e.what();
+  }
+
+  // v2 keys are only legal under the v2 magic.
+  std::stringstream leaked(
+      "# mra-trace v1\nsites 4\nresources 8\nseed 1\nalgorithm lass\n");
+  EXPECT_THROW((void)read_trace(leaked), std::runtime_error);
+
+  // Negative provenance values fail validation by name.
+  std::stringstream negative(
+      "# mra-trace v2\nsites 4\nresources 8\nseed 1\ndelay_bound_ns -5\n"
+      "100 0 50 0\n");
+  EXPECT_THROW((void)read_trace(negative), std::invalid_argument);
+}
+
+TEST(TraceV2, ReplayHonorsTheEmbeddedPerturbation) {
+  ScenarioSpec spec = shrink(find_scenario("zipf-hot"));
+  spec.system.latency_delay_bound = sim::from_ms(2);
+  const RequestTrace trace =
+      record_scenario(spec, algo::Algorithm::kLassWithLoan);
+  ASSERT_GT(trace.latency_delay_bound, 0);
+
+  // The trace alone pins the perturbed network: bit-identical replays.
+  ReplayOptions opt;
+  opt.seed = trace.seed;
+  const ReplayResult a =
+      replay_trace(trace, algo::Algorithm::kLassWithLoan, opt);
+  const ReplayResult b =
+      replay_trace(trace, algo::Algorithm::kLassWithLoan, opt);
+  EXPECT_EQ(a.metrics.waiting_mean_ms, b.metrics.waiting_mean_ms);  // bitwise
+  EXPECT_EQ(a.metrics.messages, b.metrics.messages);
+  EXPECT_EQ(a.end_time, b.end_time);
+
+  // ... and it matters: stripping the v2 header changes the schedule.
+  RequestTrace stripped = trace;
+  stripped.latency_delay_bound = 0;
+  const ReplayResult c =
+      replay_trace(stripped, algo::Algorithm::kLassWithLoan, opt);
+  EXPECT_NE(a.end_time, c.end_time);
+}
+
 }  // namespace
 }  // namespace mra::scenario
