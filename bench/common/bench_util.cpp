@@ -1,9 +1,12 @@
 #include "common/bench_util.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 
 #include "core/cli.hpp"
+#include "obs/heartbeat.hpp"
 
 namespace mra::bench {
 
@@ -30,6 +33,8 @@ BenchOptions parse_options(int argc, char** argv, bool supports_json) {
       opts.ci = true;
     } else if (flag_value(argc, argv, i, "--csv", v)) {
       opts.csv_path = v;
+    } else if (flag_value(argc, argv, i, "--progress", v)) {
+      opts.progress_path = v;
     } else if (flag_value(argc, argv, i, "--json", v)) {
       if (!supports_json) {
         // A requested artifact must fail fast, not be silently dropped.
@@ -41,7 +46,7 @@ BenchOptions parse_options(int argc, char** argv, bool supports_json) {
       opts.json_path = v;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "options: --quick --seed=S --threads=T --reps=N --ci "
-                   "--csv=PATH"
+                   "--csv=PATH --progress=PATH"
                 << (supports_json ? " --json=PATH" : "") << "\n";
       std::exit(0);
     } else {
@@ -73,6 +78,46 @@ experiment::ExperimentConfig paper_config(algo::Algorithm algorithm, int phi,
   cfg.warmup = options.warmup();
   cfg.measure = options.measure();
   return cfg;
+}
+
+namespace {
+
+// Heartbeat over a done/total pair; null when no --progress was given.
+std::unique_ptr<obs::Heartbeat> sweep_heartbeat(
+    const BenchOptions& options, const std::string& phase,
+    const std::atomic<std::uint64_t>& done, std::uint64_t total) {
+  if (options.progress_path.empty()) return nullptr;
+  obs::Heartbeat::Options hb;
+  hb.phase = phase;
+  hb.progress_path = options.progress_path;
+  return std::make_unique<obs::Heartbeat>(hb, [&done, total] {
+    obs::ProgressSnapshot s;
+    s.jobs_done = done.load(std::memory_order_relaxed);
+    s.jobs_total = total;
+    return s;
+  });
+}
+
+}  // namespace
+
+std::vector<experiment::ExperimentResult> run_sweep_with_progress(
+    const std::vector<experiment::ExperimentConfig>& configs,
+    const BenchOptions& options, const std::string& phase) {
+  std::atomic<std::uint64_t> jobs_done{0};
+  const auto heartbeat =
+      sweep_heartbeat(options, phase, jobs_done, configs.size());
+  return experiment::run_sweep(configs, options.threads, &jobs_done);
+}
+
+std::vector<experiment::ReplicatedResult> run_replicated_sweep_with_progress(
+    const std::vector<experiment::ReplicatedConfig>& configs,
+    const BenchOptions& options, const std::string& phase) {
+  std::uint64_t total = 0;
+  for (const auto& cfg : configs) total += cfg.replications;
+  std::atomic<std::uint64_t> reps_done{0};
+  const auto heartbeat = sweep_heartbeat(options, phase, reps_done, total);
+  return experiment::run_replicated_sweep(configs, options.threads,
+                                          &reps_done);
 }
 
 void emit(const experiment::Table& table, const BenchOptions& options,

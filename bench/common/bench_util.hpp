@@ -23,6 +23,8 @@ namespace mra::bench {
 ///                  (errors out unless --reps >= 2)
 ///   --csv=PATH     also write the table as CSV
 ///   --json=PATH    also write machine-readable results (BENCH_*.json)
+///   --progress=P   heartbeat: live sweep progress on stderr plus a JSON
+///                  progress file at P, updated every ~2s of wall time
 struct BenchOptions {
   bool quick = false;
   std::uint64_t seed = 1;
@@ -31,6 +33,7 @@ struct BenchOptions {
   bool ci = false;
   std::string csv_path;
   std::string json_path;
+  std::string progress_path;
 
   sim::SimDuration warmup() const {
     return quick ? sim::from_ms(500) : sim::from_ms(2000);
@@ -49,6 +52,21 @@ BenchOptions parse_options(int argc, char** argv, bool supports_json = false);
 experiment::ExperimentConfig paper_config(algo::Algorithm algorithm, int phi,
                                           double rho,
                                           const BenchOptions& options);
+
+/// experiment::run_sweep with an obs::Heartbeat attached when --progress
+/// was given (plain sweep otherwise). `phase` labels the stderr lines and
+/// the progress file. The heartbeat only reads a job counter — results are
+/// byte-identical with and without it.
+[[nodiscard]] std::vector<experiment::ExperimentResult>
+run_sweep_with_progress(const std::vector<experiment::ExperimentConfig>& configs,
+                        const BenchOptions& options, const std::string& phase);
+
+/// Replicated flavor: the heartbeat counts individual replications (each is
+/// one simulation), not merged configs.
+[[nodiscard]] std::vector<experiment::ReplicatedResult>
+run_replicated_sweep_with_progress(
+    const std::vector<experiment::ReplicatedConfig>& configs,
+    const BenchOptions& options, const std::string& phase);
 
 /// Prints the table and optionally writes the CSV next to the binary.
 void emit(const experiment::Table& table, const BenchOptions& options,

@@ -34,7 +34,8 @@ void run_load(const char* label, double rho, const BenchOptions& opts,
       configs.push_back(paper_config(alg, phi, rho, opts));
     }
   }
-  const auto results = experiment::run_sweep(configs, opts.threads);
+  const auto results =
+      run_sweep_with_progress(configs, opts, std::string("fig5-") + label);
   for (const auto& r : results) {
     all_results.push_back(experiment::LabeledResult{label, r});
   }
@@ -72,7 +73,8 @@ void run_load_replicated(
           paper_config(alg, phi, rho, opts), opts.reps});
     }
   }
-  const auto results = experiment::run_replicated_sweep(configs, opts.threads);
+  const auto results = run_replicated_sweep_with_progress(
+      configs, opts, std::string("fig5-") + label);
   for (const auto& r : results) {
     all_results.push_back(experiment::LabeledReplicatedResult{label, r});
   }

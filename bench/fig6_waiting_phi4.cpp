@@ -26,7 +26,8 @@ void run_load(const char* label, double rho, const BenchOptions& opts,
   for (algo::Algorithm alg : kSeries) {
     configs.push_back(paper_config(alg, /*phi=*/4, rho, opts));
   }
-  const auto results = experiment::run_sweep(configs, opts.threads);
+  const auto results =
+      run_sweep_with_progress(configs, opts, std::string("fig6-") + label);
   for (const auto& r : results) {
     all_results.push_back(experiment::LabeledResult{label, r});
   }
@@ -61,7 +62,8 @@ void run_load_replicated(
     configs.push_back(experiment::ReplicatedConfig{
         paper_config(alg, /*phi=*/4, rho, opts), opts.reps});
   }
-  const auto results = experiment::run_replicated_sweep(configs, opts.threads);
+  const auto results = run_replicated_sweep_with_progress(
+      configs, opts, std::string("fig6-") + label);
   for (const auto& r : results) {
     all_results.push_back(experiment::LabeledReplicatedResult{label, r});
   }

@@ -14,6 +14,12 @@
 //                  (allocation, FIFO watermark, per-kind stats);
 //   scenario_*   — three registered scenarios end to end, so the gate also
 //                  sees the full protocol stack, not just the substrate.
+//
+// Plus a memory family, measured before any throughput workload touches the
+// heap: memory_nN builds an N-site LASS system and reports its resident
+// footprint (bytes/site from the RSS delta, process peak RSS so far) — the
+// ROADMAP "million sites" regression tripwire. Gated lower-is-better by
+// scripts/bench_compare.py.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -24,7 +30,9 @@
 #include <string>
 #include <vector>
 
+#include "algo/factory.hpp"
 #include "common/bench_util.hpp"
+#include "metrics/memory.hpp"
 #include "net/latency.hpp"
 #include "net/network.hpp"
 #include "scenario/registry.hpp"
@@ -50,6 +58,8 @@ struct EngineResult {
   double events_per_sec = 0.0;
   double messages_per_sec = 0.0;
   double messages_per_sec_wall = 0.0;  ///< scenario rows only
+  std::uint64_t rss_peak_kb = 0;       ///< memory rows only (VmHWM)
+  double bytes_per_site = 0.0;         ///< memory rows only (RSS delta / N)
 };
 
 class WallTimer {
@@ -182,6 +192,39 @@ EngineResult run_messages(int n, std::uint64_t budget, std::uint64_t seed) {
 }
 
 // --------------------------------------------------------------------------
+// memory_nN: resident footprint of a freshly built N-site protocol stack.
+// --------------------------------------------------------------------------
+
+// `keep` holds every previously measured system alive: freeing it would let
+// the allocator recycle those pages into the next build and silently zero
+// the RSS delta. Returns 0 bytes/site when /proc/self/status is unreadable
+// (non-Linux) — bench_compare skips zero baselines, so the gate degrades to
+// a no-op there instead of failing.
+EngineResult run_memory(
+    int n, std::uint64_t seed,
+    std::vector<std::unique_ptr<algo::AllocationSystem>>& keep) {
+  const std::uint64_t before_kb = metrics::read_vm_rss_kb();
+  algo::SystemConfig sys;
+  sys.algorithm = algo::Algorithm::kLassWithLoan;
+  sys.num_sites = n;
+  sys.num_resources = 80;
+  sys.seed = seed;
+  sys.network_latency = sim::from_ms(0.6);
+  auto system = algo::AllocationSystem::create(sys);
+  system->start();
+  const std::uint64_t after_kb = metrics::read_vm_rss_kb();
+  keep.push_back(std::move(system));
+  EngineResult r;
+  r.label = "memory_n" + std::to_string(n);
+  r.rss_peak_kb = metrics::read_vm_peak_kb();
+  if (after_kb > before_kb) {
+    r.bytes_per_site =
+        static_cast<double>(after_kb - before_kb) * 1024.0 / n;
+  }
+  return r;
+}
+
+// --------------------------------------------------------------------------
 // scenario_*: full stack through three registered scenarios.
 // --------------------------------------------------------------------------
 
@@ -229,6 +272,8 @@ void write_json(const std::string& path,
       << ",\"events_per_sec\":" << num(r.events_per_sec)
       << ",\"messages_per_sec\":" << num(r.messages_per_sec)
       << ",\"messages_per_sec_wall\":" << num(r.messages_per_sec_wall)
+      << ",\"rss_peak_kb\":" << r.rss_peak_kb
+      << ",\"bytes_per_site\":" << num(r.bytes_per_site)
       << "}";
   }
   f << "\n]}\n";
@@ -247,6 +292,27 @@ int main(int argc, char** argv) {
                                               "bursty"};
 
   std::vector<EngineResult> results;
+
+  // Memory rows first, on a pristine heap: the throughput workloads below
+  // allocate (and free) enough to both inflate VmHWM and feed the allocator
+  // arena, which would corrupt the per-site deltas. Measured once — a
+  // repeat on the warmed arena would read ~0. Sizes are capped at 1024:
+  // the per-site footprint grows superlinearly (~5 MB/site at N=4096,
+  // >20 GB total — the very problem this row exists to track), which would
+  // OOM a stock CI runner.
+  {
+    const std::vector<int> memory_sizes = {64, 256, 1024};
+    std::vector<std::unique_ptr<algo::AllocationSystem>> keep;
+    for (int n : memory_sizes) {
+      EngineResult r = run_memory(n, options.seed, keep);
+      std::printf("%-22s rss_peak=%llu kB  %.0f bytes/site\n",
+                  r.label.c_str(),
+                  static_cast<unsigned long long>(r.rss_peak_kb),
+                  r.bytes_per_site);
+      results.push_back(r);
+    }
+  }
+
   std::printf("%-22s %12s %12s %10s %14s %14s\n", "workload", "events",
               "messages", "wall_ms", "events/sec", "messages/sec");
   // Best of kReps: a run can only be slowed by machine noise, never sped

@@ -23,11 +23,13 @@
 //
 // Exit status: 0 = no violation found, 1 = violation found, 2 = bad usage
 // or configuration error (unknown scenario/algorithm, unwritable output...).
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -39,6 +41,7 @@
 #include "check/violation.hpp"
 #include "core/cli.hpp"
 #include "experiment/json.hpp"
+#include "obs/heartbeat.hpp"
 #include "scenario/registry.hpp"
 
 using namespace mra;
@@ -76,6 +79,7 @@ struct Options {
   std::uint64_t max_branch = 0;     // per-choice-point cap (0 = default)
   double quantum_ms = -1.0;  // latency quantization grid (< 0 = default)
   std::string choices;       // forced choice prefix "0,2,1" (repro mode)
+  std::string progress_path; // heartbeat progress file ("" = no heartbeat)
 };
 
 [[noreturn]] void usage(int code) {
@@ -112,6 +116,10 @@ struct Options {
       "                         smallest minimized repro\n"
       "  --trace-dir PATH       save repro traces here (default: no traces)\n"
       "  --json PATH            write the violation report as JSON\n"
+      "  --progress PATH        heartbeat: live progress (runs done, and in\n"
+      "                         exhaustive mode schedules explored / pruned)\n"
+      "                         on stderr plus a JSON file at PATH, updated\n"
+      "                         every ~2s of wall time\n"
       "  --mutant NAME          activate a seeded bug (builds with\n"
       "                         -DMRA_CHECK_MUTANTS=ON only)\n"
       "\n"
@@ -206,6 +214,8 @@ Options parse(int argc, char** argv) {
       o.trace_dir = v;
     } else if (flag_value(argc, argv, i, "--json", v)) {
       o.json_path = v;
+    } else if (flag_value(argc, argv, i, "--progress", v)) {
+      o.progress_path = v;
     } else if (flag_value(argc, argv, i, "--mutant", v)) {
       o.mutant = v;
     } else if (arg == "--help" || arg == "-h") {
@@ -398,8 +408,33 @@ int run_replay(const Options& o, const check::MonitorConfig& mc) {
   return violations.empty() ? 0 : 1;
 }
 
+// Live progress for long runs: polls the explorer's monitoring atomics every
+// couple of wall-clock seconds. Returns null when --progress was not given —
+// the deterministic report never depends on the heartbeat existing.
+std::unique_ptr<obs::Heartbeat> make_heartbeat(
+    const Options& o, const check::ExploreProgress& progress,
+    const char* phase) {
+  if (o.progress_path.empty()) return nullptr;
+  obs::Heartbeat::Options hb;
+  hb.phase = phase;
+  hb.progress_path = o.progress_path;
+  return std::make_unique<obs::Heartbeat>(hb, [&progress] {
+    obs::ProgressSnapshot s;
+    s.jobs_done = progress.runs_done.load(std::memory_order_relaxed);
+    s.jobs_total = progress.runs_total.load(std::memory_order_relaxed);
+    s.schedules_executed =
+        progress.schedules_executed.load(std::memory_order_relaxed);
+    s.orderings_pruned =
+        progress.orderings_pruned.load(std::memory_order_relaxed);
+    s.violations = progress.violations.load(std::memory_order_relaxed);
+    return s;
+  });
+}
+
 int run_exhaustive(const Options& o, const check::MonitorConfig& mc) {
   const check::DporConfig dpor = dpor_from(o);
+  check::ExploreProgress progress;
+  const auto heartbeat = make_heartbeat(o, progress, "explore-exhaustive");
   check::ExploreReport report;
   if (!o.mutexes.empty()) {
     check::MutexExploreConfig cfg;
@@ -415,6 +450,7 @@ int run_exhaustive(const Options& o, const check::MonitorConfig& mc) {
         cfg.protocols.push_back(check::mutex_protocol_from_name(name));
       }
     }
+    cfg.progress = &progress;
     // One protocol per exhaustive run keeps the schedule count meaningful.
     report = check::explore_mutex_exhaustive(cfg, dpor);
   } else if (o.cm_ring) {
@@ -424,6 +460,7 @@ int run_exhaustive(const Options& o, const check::MonitorConfig& mc) {
     cfg.trace_dir = o.trace_dir;
     if (o.sites > 0) cfg.num_sites = o.sites;
     if (o.requests > 0) cfg.requests_per_site = o.requests;
+    cfg.progress = &progress;
     report = check::explore_cm_ring_exhaustive(cfg, dpor);
   } else {
     scenario::ScenarioSpec spec;
@@ -454,7 +491,7 @@ int run_exhaustive(const Options& o, const check::MonitorConfig& mc) {
       alg = algo::algorithm_from_name(o.algos[0]);
     }
     report = check::explore_scenario_exhaustive(spec, alg, mc, dpor,
-                                                o.trace_dir);
+                                                o.trace_dir, &progress);
   }
   print_report(o, report);
   if (!o.json_path.empty()) write_report_json(o.json_path, o, report);
@@ -490,6 +527,8 @@ int main(int argc, char** argv) {
     if (o.exhaustive) return run_exhaustive(o, mc);
 
     check::ExploreReport total;
+    check::ExploreProgress progress;
+    const auto heartbeat = make_heartbeat(o, progress, "explore-fuzz");
 
     const bool scenario_mode =
         o.scenarios.empty() || o.scenarios[0] != "__none__";
@@ -504,6 +543,7 @@ int main(int argc, char** argv) {
       cfg.trace_dir = o.trace_dir;
       cfg.threads = o.threads;
       cfg.neighborhood_variants = o.neighborhood;
+      cfg.progress = &progress;
       if (o.scenarios.empty() ||
           (o.scenarios.size() == 1 && o.scenarios[0] == "all")) {
         cfg.scenarios = scenario::registry();
@@ -540,6 +580,7 @@ int main(int argc, char** argv) {
       mcfg.stop_on_first = !o.keep_going;
       mcfg.threads = o.threads;
       mcfg.trace_dir = o.trace_dir;
+      mcfg.progress = &progress;
       if (o.sites > 0) mcfg.num_sites = o.sites;
       if (o.requests > 0) mcfg.requests_per_site = o.requests;
       if (o.mutexes.size() == 1 && o.mutexes[0] == "all") {
@@ -567,6 +608,7 @@ int main(int argc, char** argv) {
       ccfg.stop_on_first = !o.keep_going;
       ccfg.threads = o.threads;
       ccfg.trace_dir = o.trace_dir;
+      ccfg.progress = &progress;
       if (o.sites > 0) ccfg.num_sites = o.sites;
       if (o.requests > 0) ccfg.requests_per_site = o.requests;
       const check::ExploreReport cm_report = check::explore_cm_ring(ccfg);

@@ -8,9 +8,14 @@
 //   mra_scenarios --scenario all --algo all --quick --json results.json
 //   mra_scenarios --record trace.mra --scenario zipf-hot --algo lass-loan
 //   mra_scenarios --replay trace.mra --algo all
+//   mra_scenarios --scenario paper-phi4 --algo lass --trace-out run.json
+//       --spans-csv slow.csv --slowest 10 --gauges gauges.json
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +24,9 @@
 #include "experiment/replicate.hpp"
 #include "experiment/sweep.hpp"
 #include "experiment/table.hpp"
+#include "obs/heartbeat.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace_export.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/runner.hpp"
 
@@ -42,6 +50,14 @@ struct Options {
   bool ci = false;
   std::string csv_path;
   std::string json_path;
+  // Flight-recorder outputs (src/obs): any of these switches the run into
+  // the sequential single-run recorder mode.
+  std::string trace_out;
+  std::string spans_csv;
+  std::size_t slowest = 0;  ///< 0 = all spans in the CSV
+  std::string gauges_path;
+  double gauge_interval_ms = 10.0;
+  std::string progress_path;  ///< sweep/replicated: heartbeat progress file
 };
 
 [[noreturn]] void usage(int code) {
@@ -63,6 +79,21 @@ struct Options {
       "                         --reps >= 2)\n"
       "  --csv PATH             write the result table as CSV\n"
       "  --json PATH            write machine-readable results as JSON\n"
+      "\n"
+      "Flight recorder (single scenario + algo, sequential run):\n"
+      "  --trace-out PATH       write a Perfetto-loadable Chrome trace JSON\n"
+      "                         (request spans, message flows, gauges)\n"
+      "  --spans-csv PATH       write per-request lifecycle rows as CSV\n"
+      "  --slowest K            keep only the K longest-waiting spans in the\n"
+      "                         CSV (0 = all; trace JSON is always complete)\n"
+      "  --gauges PATH          write the engine gauge time-series as JSON\n"
+      "  --gauge-interval-ms X  gauge sampling grid in simulated ms\n"
+      "                         (default 10)\n"
+      "\n"
+      "Long-run monitoring (sweep / replicated modes):\n"
+      "  --progress PATH        heartbeat: progress lines on stderr plus a\n"
+      "                         machine-readable JSON file at PATH, updated\n"
+      "                         every ~2s of wall time\n"
       "\n"
       "Flags also accept the --flag=value spelling.\n";
   std::exit(code);
@@ -102,6 +133,22 @@ Options parse(int argc, char** argv) {
       o.csv_path = v;
     } else if (flag_value(argc, argv, i, "--json", v)) {
       o.json_path = v;
+    } else if (flag_value(argc, argv, i, "--trace-out", v)) {
+      o.trace_out = v;
+    } else if (flag_value(argc, argv, i, "--spans-csv", v)) {
+      o.spans_csv = v;
+    } else if (flag_value(argc, argv, i, "--slowest", v)) {
+      o.slowest = static_cast<std::size_t>(std::strtoull(v.c_str(), nullptr, 10));
+    } else if (flag_value(argc, argv, i, "--gauges", v)) {
+      o.gauges_path = v;
+    } else if (flag_value(argc, argv, i, "--gauge-interval-ms", v)) {
+      o.gauge_interval_ms = std::strtod(v.c_str(), nullptr);
+      if (o.gauge_interval_ms <= 0) {
+        std::cerr << "--gauge-interval-ms must be > 0\n";
+        usage(2);
+      }
+    } else if (flag_value(argc, argv, i, "--progress", v)) {
+      o.progress_path = v;
     } else if (arg == "--help" || arg == "-h") {
       usage(0);
     } else {
@@ -249,6 +296,82 @@ int run_replay(const Options& o) {
   return 0;
 }
 
+/// Flight-recorder mode: one scenario, one algorithm, run sequentially with
+/// an obs::FlightRecorder attached; dump the requested artifacts. The trace
+/// and CSV depend only on simulated time, so repeat runs are byte-identical.
+int run_recorder_mode(const Options& o) {
+  const auto specs = select_scenarios(o);
+  const auto algos = select_algorithms(o);
+  if (specs.size() != 1 || algos.size() != 1) {
+    std::cerr << "--trace-out/--spans-csv/--gauges record one run: pass "
+                 "exactly one --scenario and one --algo\n";
+    return 2;
+  }
+  if (o.threads != 0 || o.reps != 1) {
+    std::cerr << "--threads/--reps do not apply to recorder runs (one "
+                 "sequential run)\n";
+    return 2;
+  }
+
+  obs::FlightRecorder recorder;
+  const bool want_gauges = !o.gauges_path.empty() || !o.trace_out.empty();
+  const experiment::ExperimentResult result = scenario::run_scenario(
+      specs[0], algos[0], &recorder, [&](algo::AllocationSystem& system) {
+        if (want_gauges) {
+          recorder.enable_gauges(system.simulator(), system.network(),
+                                 sim::from_ms(o.gauge_interval_ms));
+        }
+      });
+
+  Table table({"scenario", "algorithm", "use-rate %", "mean wait (ms)",
+               "completed", "msgs/CS"});
+  table.add_row({specs[0].name, result.algorithm,
+                 Table::fmt(result.use_rate * 100, 1),
+                 Table::fmt(result.waiting_mean_ms, 2),
+                 std::to_string(result.requests_completed),
+                 Table::fmt(result.messages_per_cs, 1)});
+  table.print(std::cout);
+  std::cout << "recorded " << recorder.spans().size() << " spans, "
+            << recorder.messages().size() << " messages, "
+            << recorder.gauges().size() << " gauge samples\n";
+
+  if (!o.trace_out.empty()) {
+    std::ofstream os(o.trace_out, std::ios::binary);
+    if (!os) {
+      std::cerr << "cannot write " << o.trace_out << "\n";
+      return 1;
+    }
+    obs::write_chrome_trace(recorder, os);
+    std::cout << "(trace: " << o.trace_out
+              << " — load in https://ui.perfetto.dev)\n";
+  }
+  if (!o.spans_csv.empty()) {
+    std::ofstream os(o.spans_csv, std::ios::binary);
+    if (!os) {
+      std::cerr << "cannot write " << o.spans_csv << "\n";
+      return 1;
+    }
+    if (o.slowest > 0) {
+      obs::write_spans_csv(recorder, obs::slowest_spans(recorder, o.slowest),
+                           os);
+    } else {
+      obs::write_spans_csv(recorder, os);
+    }
+    std::cout << "(spans: " << o.spans_csv << ")\n";
+  }
+  if (!o.gauges_path.empty()) {
+    std::ofstream os(o.gauges_path, std::ios::binary);
+    if (!os) {
+      std::cerr << "cannot write " << o.gauges_path << "\n";
+      return 1;
+    }
+    obs::write_gauges_json(recorder, os);
+    os << "\n";
+    std::cout << "(gauges: " << o.gauges_path << ")\n";
+  }
+  return 0;
+}
+
 int run_sweep_mode(const Options& o) {
   const auto specs = select_scenarios(o);
   const auto algos = select_algorithms(o);
@@ -262,7 +385,24 @@ int run_sweep_mode(const Options& o) {
       labels.push_back(spec.name);
     }
   }
-  const auto results = experiment::run_sweep(jobs, o.threads);
+  std::atomic<std::uint64_t> jobs_done{0};
+  std::vector<experiment::ExperimentResult> results;
+  {
+    std::unique_ptr<obs::Heartbeat> heartbeat;
+    if (!o.progress_path.empty()) {
+      obs::Heartbeat::Options hopts;
+      hopts.phase = "scenario-sweep";
+      hopts.progress_path = o.progress_path;
+      const std::uint64_t total = jobs.size();
+      heartbeat = std::make_unique<obs::Heartbeat>(hopts, [&jobs_done, total] {
+        obs::ProgressSnapshot snap;
+        snap.jobs_done = jobs_done.load(std::memory_order_relaxed);
+        snap.jobs_total = total;
+        return snap;
+      });
+    }
+    results = experiment::run_sweep(jobs, o.threads, &jobs_done);
+  }
 
   Table table({"scenario", "algorithm", "use-rate %", "mean wait (ms)",
                "stddev", "completed", "msgs/CS", "loans"});
@@ -288,6 +428,9 @@ int run_replicated_mode(const Options& o) {
   const auto specs = select_scenarios(o);
   const auto algos = select_algorithms(o);
 
+  // Heartbeat granularity: one tick per finished replication (the unit of
+  // work), counted from inside the make wrapper.
+  auto reps_done = std::make_shared<std::atomic<std::uint64_t>>(0);
   std::vector<experiment::ReplicatedJob> jobs;
   std::vector<std::string> labels;
   for (const scenario::ScenarioSpec& spec : specs) {
@@ -295,16 +438,34 @@ int run_replicated_mode(const Options& o) {
       experiment::ReplicatedJob job;
       job.base_seed = spec.system.seed;
       job.replications = o.reps;
-      job.make = [spec, alg](std::uint64_t rep_seed) {
+      job.make = [spec, alg, reps_done](std::uint64_t rep_seed) {
         scenario::ScenarioSpec s = spec;
         s.system.seed = rep_seed;
-        return scenario::run_scenario(s, alg);
+        auto r = scenario::run_scenario(s, alg);
+        reps_done->fetch_add(1, std::memory_order_relaxed);
+        return r;
       };
       jobs.push_back(std::move(job));
       labels.push_back(spec.name);
     }
   }
-  const auto results = experiment::run_replicated_jobs(jobs, o.threads);
+  std::vector<experiment::ReplicatedResult> results;
+  {
+    std::unique_ptr<obs::Heartbeat> heartbeat;
+    if (!o.progress_path.empty()) {
+      obs::Heartbeat::Options hopts;
+      hopts.phase = "replicated-sweep";
+      hopts.progress_path = o.progress_path;
+      const std::uint64_t total = jobs.size() * o.reps;
+      heartbeat = std::make_unique<obs::Heartbeat>(hopts, [reps_done, total] {
+        obs::ProgressSnapshot snap;
+        snap.jobs_done = reps_done->load(std::memory_order_relaxed);
+        snap.jobs_total = total;
+        return snap;
+      });
+    }
+    results = experiment::run_replicated_jobs(jobs, o.threads);
+  }
 
   Table table({"scenario", "algorithm", "use-rate %", "mean wait (ms)", "p50",
                "p95", "p99", "completed", "msgs/CS"});
@@ -340,10 +501,18 @@ int run_replicated_mode(const Options& o) {
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
+  const bool recorder_mode =
+      !o.trace_out.empty() || !o.spans_csv.empty() || !o.gauges_path.empty();
+  if (recorder_mode && (!o.record_path.empty() || !o.replay_path.empty())) {
+    std::cerr << "--trace-out/--spans-csv/--gauges record a live run; they "
+                 "do not combine with --record/--replay\n";
+    return 2;
+  }
   try {
     if (o.list) return run_list();
     if (!o.record_path.empty()) return run_record(o);
     if (!o.replay_path.empty()) return run_replay(o);
+    if (recorder_mode) return run_recorder_mode(o);
     if (o.reps > 1) return run_replicated_mode(o);
     return run_sweep_mode(o);
   } catch (const std::exception& e) {

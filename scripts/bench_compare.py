@@ -12,7 +12,8 @@ share a few labels — compare row for row. Metric direction is inferred
 from the field name:
 
   higher is better   *_per_sec, use_rate
-  lower is better    waiting_mean_ms, messages_per_cs
+  lower is better    waiting_mean_ms, messages_per_cs, rss_peak_kb,
+                     bytes_per_site (micro_engine memory rows)
   informational      wall_ms, *_per_sec_wall (too short-lived for a stable
                      rate), *_ci95 confidence half-widths (interval width is
                      a sampling property, not a performance metric — always
@@ -24,11 +25,12 @@ turns any drift into a failure — useful when a change must not alter
 behaviour, wrong when the workload itself legitimately changed (refresh the
 baseline instead; see README "Performance tracking").
 
---rates-advisory demotes the machine-specific *_per_sec rates to printed
-advisories while machine-independent metrics (use_rate, waiting_mean_ms)
-keep gating — the right mode when baseline and new results come from
-different hardware, e.g. the committed bench/baselines/ seeds vs a CI
-runner.
+--rates-advisory demotes the machine-specific *_per_sec rates — and the
+memory fields, which depend on the allocator/libc of the build host — to
+printed advisories while machine-independent metrics (use_rate,
+waiting_mean_ms) keep gating — the right mode when baseline and new results
+come from different hardware, e.g. the committed bench/baselines/ seeds vs
+a CI runner.
 
 Exit codes: 0 ok, 1 regression (or count drift under --strict-counts),
 2 usage/input error.
@@ -48,7 +50,15 @@ HIGHER_BETTER_FIELDS = {"use_rate"}
 # _ci95: confidence-interval half-widths shrink with more replications and
 # wobble with seeds — advisory context for the reviewer, never a gate.
 INFORMATIONAL_SUFFIXES = ("_per_sec_wall", "_ci95")
-LOWER_BETTER_FIELDS = {"waiting_mean_ms", "messages_per_cs"}
+LOWER_BETTER_FIELDS = {
+    "waiting_mean_ms",
+    "messages_per_cs",
+    "rss_peak_kb",
+    "bytes_per_site",
+}
+# Resident-set sizes move with the build host's allocator and libc, so a
+# cross-machine comparison (--rates-advisory) must not gate on them.
+MACHINE_DEPENDENT_FIELDS = {"rss_peak_kb", "bytes_per_site"}
 COUNT_FIELDS = {
     "events",
     "messages",
@@ -188,7 +198,10 @@ def main():
                 change = (new_val - base_val) / base_val
             else:
                 change = (base_val - new_val) / base_val
-            advisory = args.rates_advisory and field.endswith(RATE_SUFFIX)
+            advisory = args.rates_advisory and (
+                field.endswith(RATE_SUFFIX)
+                or field in MACHINE_DEPENDENT_FIELDS
+            )
             marker = "ok"
             if change < -args.threshold:
                 if advisory:

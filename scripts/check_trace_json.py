@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file emitted by --trace-out.
+
+The flight recorder (src/obs/) exports request spans, message flows, and
+engine gauges in the Chrome trace-event format so a run can be opened in
+Perfetto (ui.perfetto.dev) or chrome://tracing. CI records a scenario and
+runs this validator over the output, so a refactor of the exporter cannot
+silently produce a file those viewers reject.
+
+Checked invariants, all derived from the trace-event spec subset the
+exporter uses (see src/obs/trace_export.cpp):
+
+  shape       top-level object with a "traceEvents" array and
+              displayTimeUnit "ms"; every event is an object with a known
+              phase ("ph") and a string "name"
+  M metadata  process_name / thread_name entries carrying args.name
+  X slices    numeric ts >= 0 and dur >= 0, pid and tid present
+  i instants  scope "s" in {t, p, g}
+  s/f flows   every flow-finish id refers to a flow-start id seen earlier
+              in the file (messages still in flight at the end may leave
+              an unmatched start, never an orphan finish)
+  C counters  non-empty "args" object with numeric series values
+  ordering    non-metadata events sorted by ts (the exporter emits
+              simulated-time order; a violation means nondeterminism or
+              wall-clock leakage crept into the trace body)
+
+--require-counters additionally fails when the file has no C events,
+for runs recorded with gauges enabled.
+
+Exit codes: 0 valid, 1 invalid, 2 usage/input error.
+
+Usage:
+  scripts/check_trace_json.py run.json
+  scripts/check_trace_json.py run.json --require-counters
+"""
+
+import argparse
+import json
+import sys
+
+KNOWN_PHASES = {"M", "X", "i", "s", "f", "C"}
+INSTANT_SCOPES = {"t", "p", "g"}
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace JSON from --trace-out")
+    parser.add_argument(
+        "--require-counters",
+        action="store_true",
+        help="fail when the trace has no C (counter) events",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"check_trace_json: cannot read {args.trace}: {err}",
+              file=sys.stderr)
+        sys.exit(2)
+
+    errors = []
+
+    def bad(index, message):
+        errors.append(f"event #{index}: {message}")
+
+    if not isinstance(doc, dict):
+        print("check_trace_json: top level is not a JSON object",
+              file=sys.stderr)
+        sys.exit(1)
+    if doc.get("displayTimeUnit") != "ms":
+        errors.append("displayTimeUnit is not 'ms'")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        print("check_trace_json: no 'traceEvents' array", file=sys.stderr)
+        sys.exit(1)
+
+    by_phase = {}
+    open_flows = set()
+    last_ts = None
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            bad(index, "not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in KNOWN_PHASES:
+            bad(index, f"unknown phase {phase!r}")
+            continue
+        by_phase[phase] = by_phase.get(phase, 0) + 1
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            bad(index, "missing or empty 'name'")
+        if "pid" not in event:
+            bad(index, "missing 'pid'")
+
+        if phase == "M":
+            event_args = event.get("args")
+            if not isinstance(event_args, dict) or "name" not in event_args:
+                bad(index, "metadata without args.name")
+            continue
+
+        ts = event.get("ts")
+        if not is_number(ts) or ts < 0:
+            bad(index, f"bad ts {ts!r}")
+        else:
+            # Metadata is header material; everything else must be in
+            # simulated-time order or the export is nondeterministic.
+            if last_ts is not None and ts < last_ts:
+                bad(index, f"ts {ts} goes backwards (previous {last_ts})")
+            last_ts = ts
+
+        if phase == "X":
+            dur = event.get("dur")
+            if not is_number(dur) or dur < 0:
+                bad(index, f"slice with bad dur {dur!r}")
+            if "tid" not in event:
+                bad(index, "slice without tid")
+        elif phase == "i":
+            if event.get("s") not in INSTANT_SCOPES:
+                bad(index, f"instant with bad scope {event.get('s')!r}")
+        elif phase == "s":
+            flow = event.get("id")
+            if flow is None:
+                bad(index, "flow start without id")
+            else:
+                open_flows.add(flow)
+        elif phase == "f":
+            flow = event.get("id")
+            if flow is None:
+                bad(index, "flow finish without id")
+            elif flow not in open_flows:
+                bad(index, f"flow finish id {flow!r} with no earlier start")
+        elif phase == "C":
+            event_args = event.get("args")
+            if not isinstance(event_args, dict) or not event_args:
+                bad(index, "counter without args series")
+            elif not all(is_number(v) for v in event_args.values()):
+                bad(index, "counter with non-numeric series value")
+
+    if by_phase.get("M", 0) == 0:
+        errors.append("no metadata (M) events: process/thread names missing")
+    if by_phase.get("X", 0) == 0:
+        errors.append("no slice (X) events: trace records no request spans")
+    if args.require_counters and by_phase.get("C", 0) == 0:
+        errors.append("no counter (C) events but --require-counters given")
+
+    summary = ", ".join(
+        f"{phase}={by_phase[phase]}" for phase in sorted(by_phase)
+    )
+    print(f"{args.trace}: {len(events)} events ({summary})")
+    if errors:
+        for message in errors[:20]:
+            print(f"  INVALID: {message}")
+        if len(errors) > 20:
+            print(f"  ... and {len(errors) - 20} more")
+        print(f"FAIL: {len(errors)} schema violation(s)")
+        sys.exit(1)
+    print("OK: trace is Perfetto-loadable")
+
+
+if __name__ == "__main__":
+    main()

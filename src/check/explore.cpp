@@ -381,6 +381,12 @@ ExploreReport explore(const ExploreConfig& config) {
     }
   }
 
+  if (config.progress != nullptr) {
+    // Accumulate, not overwrite: a multi-phase run (scenario + mutex +
+    // cm-ring fuzz sharing one ExploreProgress) keeps a coherent total.
+    config.progress->runs_total.fetch_add(cases.size(),
+                                          std::memory_order_relaxed);
+  }
   for (std::size_t wave = 0; wave < cases.size(); wave += kWave) {
     const std::size_t end = std::min(cases.size(), wave + kWave);
     std::vector<CheckedRun> slots(end - wave);
@@ -397,6 +403,9 @@ ExploreReport explore(const ExploreConfig& config) {
         // violating run early; keep-going collects every violation.
         copt.monitor.stop_on_first = config.stop_on_first;
         slots[slot] = run_checked_scenario(s, c.algorithm, copt);
+        if (config.progress != nullptr) {
+          config.progress->runs_done.fetch_add(1, std::memory_order_relaxed);
+        }
         return experiment::ExperimentResult{};
       });
     }
@@ -411,6 +420,9 @@ ExploreReport explore(const ExploreConfig& config) {
       if (run.violations.empty()) continue;
 
       ++report.violating_runs;
+      if (config.progress != nullptr) {
+        config.progress->violations.fetch_add(1, std::memory_order_relaxed);
+      }
       const FuzzCase& c = cases[k];
       FoundViolation found;
       found.scenario = c.spec->name;
@@ -714,6 +726,12 @@ ExploreReport explore_mutex(const MutexExploreConfig& config) {
   mc.num_resources = 1;
   mc.stop_on_first = config.stop_on_first;
 
+  if (config.progress != nullptr) {
+    // Accumulate, not overwrite: a multi-phase run (scenario + mutex +
+    // cm-ring fuzz sharing one ExploreProgress) keeps a coherent total.
+    config.progress->runs_total.fetch_add(cases.size(),
+                                          std::memory_order_relaxed);
+  }
   for (std::size_t wave = 0; wave < cases.size(); wave += kWave) {
     const std::size_t end = std::min(cases.size(), wave + kWave);
     struct Slot {
@@ -733,6 +751,9 @@ ExploreReport explore_mutex(const MutexExploreConfig& config) {
         plan.monitor = mc;
         plan.record = &slots[slot].trace;
         slots[slot].violations = run_mutex_plan(c.protocol, plan);
+        if (config.progress != nullptr) {
+          config.progress->runs_done.fetch_add(1, std::memory_order_relaxed);
+        }
         return experiment::ExperimentResult{};
       });
     }
@@ -745,6 +766,9 @@ ExploreReport explore_mutex(const MutexExploreConfig& config) {
       if (slot.violations.empty()) continue;
 
       ++report.violating_runs;
+      if (config.progress != nullptr) {
+        config.progress->violations.fetch_add(1, std::memory_order_relaxed);
+      }
       const Case& c = cases[k];
       FoundViolation found;
       found.scenario = std::string("mutex:") + to_string(c.protocol);
@@ -817,12 +841,24 @@ ExploreReport explore_mutex_exhaustive(const MutexExploreConfig& config,
         plan.monitor = mc;
         plan.record = &trace;
         std::vector<Violation> v = run_mutex_plan(protocol, plan);
+        if (config.progress != nullptr) {
+          config.progress->schedules_executed.fetch_add(
+              1, std::memory_order_relaxed);
+          config.progress->runs_done.fetch_add(1, std::memory_order_relaxed);
+        }
         if (v.empty()) return false;
+        if (config.progress != nullptr) {
+          config.progress->violations.fetch_add(1, std::memory_order_relaxed);
+        }
         violations = std::move(v);
         violating_trace = std::move(trace);
         choices = scheduler.choices();
         return true;
       });
+  if (config.progress != nullptr) {
+    config.progress->orderings_pruned.store(stats.orderings_pruned,
+                                            std::memory_order_relaxed);
+  }
 
   report.runs = stats.schedules_executed;
   report.schedules_executed = stats.schedules_executed;
@@ -894,7 +930,8 @@ ExploreReport explore_scenario_exhaustive(const scenario::ScenarioSpec& spec,
                                           algo::Algorithm algorithm,
                                           const MonitorConfig& monitor,
                                           const DporConfig& dpor,
-                                          const std::string& trace_dir) {
+                                          const std::string& trace_dir,
+                                          ExploreProgress* progress) {
   MonitorConfig mc = monitor;
   mc.stop_on_first = true;
 
@@ -908,12 +945,24 @@ ExploreReport explore_scenario_exhaustive(const scenario::ScenarioSpec& spec,
         copt.monitor = mc;
         copt.commutation = &scheduler;
         CheckedRun run = run_checked_scenario(spec, algorithm, copt);
+        if (progress != nullptr) {
+          progress->schedules_executed.fetch_add(1,
+                                                 std::memory_order_relaxed);
+          progress->runs_done.fetch_add(1, std::memory_order_relaxed);
+        }
         if (run.violations.empty()) return false;
+        if (progress != nullptr) {
+          progress->violations.fetch_add(1, std::memory_order_relaxed);
+        }
         violating = std::move(run);
         choices = scheduler.choices();
         found_violation = true;
         return true;
       });
+  if (progress != nullptr) {
+    progress->orderings_pruned.store(stats.orderings_pruned,
+                                     std::memory_order_relaxed);
+  }
 
   report.runs = stats.schedules_executed;
   report.schedules_executed = stats.schedules_executed;
@@ -1116,6 +1165,12 @@ ExploreReport explore_cm_ring(const CmRingExploreConfig& config) {
     cases.push_back(c);
   }
 
+  if (config.progress != nullptr) {
+    // Accumulate, not overwrite: a multi-phase run (scenario + mutex +
+    // cm-ring fuzz sharing one ExploreProgress) keeps a coherent total.
+    config.progress->runs_total.fetch_add(cases.size(),
+                                          std::memory_order_relaxed);
+  }
   for (std::size_t wave = 0; wave < cases.size(); wave += kWave) {
     const std::size_t end = std::min(cases.size(), wave + kWave);
     struct Slot {
@@ -1136,6 +1191,9 @@ ExploreReport explore_cm_ring(const CmRingExploreConfig& config) {
         plan.monitor = mc;
         plan.record = &slots[slot].trace;
         slots[slot].violations = run_cm_case(plan);
+        if (config.progress != nullptr) {
+          config.progress->runs_done.fetch_add(1, std::memory_order_relaxed);
+        }
         return experiment::ExperimentResult{};
       });
     }
@@ -1148,6 +1206,9 @@ ExploreReport explore_cm_ring(const CmRingExploreConfig& config) {
       if (slot.violations.empty()) continue;
 
       ++report.violating_runs;
+      if (config.progress != nullptr) {
+        config.progress->violations.fetch_add(1, std::memory_order_relaxed);
+      }
       const Case& c = cases[k];
       FoundViolation found;
       found.scenario = "cm-ring";
@@ -1213,12 +1274,24 @@ ExploreReport explore_cm_ring_exhaustive(const CmRingExploreConfig& config,
         plan.monitor = mc;
         plan.record = &trace;
         std::vector<Violation> v = run_cm_case(plan);
+        if (config.progress != nullptr) {
+          config.progress->schedules_executed.fetch_add(
+              1, std::memory_order_relaxed);
+          config.progress->runs_done.fetch_add(1, std::memory_order_relaxed);
+        }
         if (v.empty()) return false;
+        if (config.progress != nullptr) {
+          config.progress->violations.fetch_add(1, std::memory_order_relaxed);
+        }
         violations = std::move(v);
         violating_trace = std::move(trace);
         choices = scheduler.choices();
         return true;
       });
+  if (config.progress != nullptr) {
+    config.progress->orderings_pruned.store(stats.orderings_pruned,
+                                            std::memory_order_relaxed);
+  }
 
   report.runs = stats.schedules_executed;
   report.schedules_executed = stats.schedules_executed;

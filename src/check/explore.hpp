@@ -24,6 +24,7 @@
 // artifacts (see .github/workflows/ci.yml).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -84,6 +85,22 @@ struct CheckedRun {
     const scenario::RequestTrace& trace, const MonitorConfig& monitor = {});
 
 // ---------------------------------------------------------------------------
+// Live progress (obs::Heartbeat integration)
+// ---------------------------------------------------------------------------
+
+/// Shared counters an explorer updates as it goes, so a heartbeat thread can
+/// report live progress on multi-hour runs. All relaxed atomics: the values
+/// feed monitoring only, never the report (which stays deterministic).
+/// Borrowed via the configs below; must outlive the explore call.
+struct ExploreProgress {
+  std::atomic<std::uint64_t> runs_total{0};  ///< set once the sweep is sized
+  std::atomic<std::uint64_t> runs_done{0};
+  std::atomic<std::uint64_t> schedules_executed{0};  ///< exhaustive mode
+  std::atomic<std::uint64_t> orderings_pruned{0};    ///< exhaustive mode
+  std::atomic<std::uint64_t> violations{0};
+};
+
+// ---------------------------------------------------------------------------
 // Scenario explorer (fuzz mode)
 // ---------------------------------------------------------------------------
 
@@ -107,6 +124,7 @@ struct ExploreConfig {
   /// variants (remixed seed, scaled delay bound) around it; the smallest
   /// minimized repro across the violating variants wins.
   int neighborhood_variants = 0;
+  ExploreProgress* progress = nullptr;  ///< live counters (null = none)
 };
 
 struct FoundViolation {
@@ -148,7 +166,7 @@ struct ExploreReport {
 [[nodiscard]] ExploreReport explore_scenario_exhaustive(
     const scenario::ScenarioSpec& spec, algo::Algorithm algorithm,
     const MonitorConfig& monitor, const DporConfig& dpor,
-    const std::string& trace_dir = "");
+    const std::string& trace_dir = "", ExploreProgress* progress = nullptr);
 
 /// The golden tiny configuration for exhaustive scenario exploration:
 /// 3 sites, 2 resources, deterministic-friendly load, latencies quantized
@@ -178,6 +196,7 @@ struct MutexExploreConfig {
   MonitorConfig monitor;  ///< sizes are overridden (num_resources = 1)
   int threads = 1;        ///< wave-sharded like ExploreConfig::threads
   std::string trace_dir;  ///< where v2 repro traces land ("" = don't save)
+  ExploreProgress* progress = nullptr;  ///< live counters (null = none)
 };
 
 /// Same sweep over the three single-resource mutual-exclusion substrates;
@@ -209,6 +228,7 @@ struct CmRingExploreConfig {
   MonitorConfig monitor;  ///< sizes overridden (resources = num_sites)
   int threads = 1;
   std::string trace_dir;
+  ExploreProgress* progress = nullptr;  ///< live counters (null = none)
 };
 
 /// Fuzz sweep over a Chandy-Misra ring: each request picks one incident

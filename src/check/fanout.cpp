@@ -1,0 +1,55 @@
+#include "check/fanout.hpp"
+
+#include "algo/factory.hpp"
+#include "core/allocator.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace mra::check {
+
+void require_free_observer_slot(const Observer* current, const Observer* self,
+                                const char* hook) {
+  if (current != nullptr && current != self) {
+    throw AlreadyAttachedError(hook);
+  }
+}
+
+ObserverMux::~ObserverMux() { detach(); }
+
+void ObserverMux::attach(algo::AllocationSystem& system) {
+  for (SiteId i = 0; i < system.num_sites(); ++i) {
+    require_free_observer_slot(system.node(i).check_observer(), this,
+                               "allocator nodes");
+  }
+  attach(system.simulator(), system.network());
+  system_ = &system;
+  for (SiteId i = 0; i < system.num_sites(); ++i) {
+    system.node(i).set_observer(this);
+  }
+}
+
+void ObserverMux::attach(sim::Simulator& simulator, net::Network& network) {
+  require_free_observer_slot(simulator.observer(), this, "simulator");
+  require_free_observer_slot(network.observer(), this, "network");
+  sim_ = &simulator;
+  net_ = &network;
+  simulator.set_observer(this);
+  network.set_observer(this);
+}
+
+void ObserverMux::detach() {
+  if (sim_ != nullptr && sim_->observer() == this) sim_->set_observer(nullptr);
+  if (net_ != nullptr && net_->observer() == this) net_->set_observer(nullptr);
+  if (system_ != nullptr) {
+    for (SiteId i = 0; i < system_->num_sites(); ++i) {
+      if (system_->node(i).check_observer() == this) {
+        system_->node(i).set_observer(nullptr);
+      }
+    }
+  }
+  sim_ = nullptr;
+  net_ = nullptr;
+  system_ = nullptr;
+}
+
+}  // namespace mra::check

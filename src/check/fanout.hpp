@@ -1,0 +1,92 @@
+// Observer fan-out: the simulator, network and allocator hooks each carry
+// exactly *one* check::Observer pointer (a deliberate hot-path decision —
+// one branch, one indirect call). When two consumers want the stream at the
+// same time — a check::Monitor running oracles plus an obs::FlightRecorder
+// building spans — an ObserverMux sits in the single slot and forwards to
+// any number of added observers, none of which knows about the others.
+//
+// Attachment ownership: attach() refuses to displace a foreign observer.
+// The pre-mux behaviour (Monitor silently stealing the hooks from whatever
+// was attached before it) hid real composition bugs; now every attacher —
+// Monitor and ObserverMux alike — throws AlreadyAttachedError instead, and
+// the fix is always "attach one ObserverMux, add both consumers to it".
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/event.hpp"
+
+namespace mra::algo {
+class AllocationSystem;
+}  // namespace mra::algo
+namespace mra::net {
+class Network;
+}  // namespace mra::net
+namespace mra::sim {
+class Simulator;
+}  // namespace mra::sim
+
+namespace mra::check {
+
+/// Thrown when attach() would silently replace an observer someone else
+/// registered — the composition bug the mux exists to prevent.
+class AlreadyAttachedError : public std::logic_error {
+ public:
+  explicit AlreadyAttachedError(const std::string& hook)
+      : std::logic_error("an observer is already attached to the " + hook +
+                         " — compose through a check::ObserverMux instead "
+                         "of attaching twice") {}
+};
+
+/// Forwards every event to the observers added to it, in add() order.
+/// Borrowed-field lifetime (event.hpp) is preserved: forwarding happens
+/// inside the original on_event call. Observers are borrowed and must
+/// outlive the mux's attachment.
+class ObserverMux final : public Observer {
+ public:
+  ObserverMux() = default;
+  ~ObserverMux() override;
+
+  ObserverMux(const ObserverMux&) = delete;
+  ObserverMux& operator=(const ObserverMux&) = delete;
+
+  /// Adds a consumer. Order matters: oracles that may stop the simulation
+  /// (Monitor with stop_on_first) should be added before passive recorders
+  /// only if they must see the event first — both always see every event.
+  void add(Observer& observer) { observers_.push_back(&observer); }
+
+  /// Wires this mux into simulator + network + every allocator node, like
+  /// Monitor::attach. Throws AlreadyAttachedError if any hook already has a
+  /// different observer.
+  void attach(algo::AllocationSystem& system);
+
+  /// Substrate-only wiring (simulator + network).
+  void attach(sim::Simulator& simulator, net::Network& network);
+
+  /// Undoes attach(); called automatically on destruction.
+  void detach();
+
+  // Observer ------------------------------------------------------------------
+  void on_event(const Event& event) override {
+    for (Observer* o : observers_) o->on_event(event);
+  }
+  void on_advance(sim::SimTime now) override {
+    for (Observer* o : observers_) o->on_advance(now);
+  }
+
+ private:
+  std::vector<Observer*> observers_;
+
+  // Attachment bookkeeping for detach().
+  sim::Simulator* sim_ = nullptr;
+  net::Network* net_ = nullptr;
+  algo::AllocationSystem* system_ = nullptr;
+};
+
+/// Shared attach guard: throws unless the slot is empty or already `self`.
+void require_free_observer_slot(const Observer* current, const Observer* self,
+                                const char* hook);
+
+}  // namespace mra::check

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "algo/factory.hpp"
+#include "check/fanout.hpp"
 #include "core/allocator.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
@@ -42,6 +43,10 @@ void Monitor::add_oracle(std::unique_ptr<Oracle> oracle) {
 }
 
 void Monitor::attach(algo::AllocationSystem& system) {
+  for (SiteId i = 0; i < system.num_sites(); ++i) {
+    require_free_observer_slot(system.node(i).check_observer(), this,
+                               "allocator nodes");
+  }
   attach(system.simulator(), system.network());
   system_ = &system;
   for (SiteId i = 0; i < system.num_sites(); ++i) {
@@ -50,6 +55,10 @@ void Monitor::attach(algo::AllocationSystem& system) {
 }
 
 void Monitor::attach(sim::Simulator& simulator, net::Network& network) {
+  // Double-attach used to silently displace the previous observer; that hid
+  // every Monitor-plus-recorder composition bug, so it is a named error now.
+  require_free_observer_slot(simulator.observer(), this, "simulator");
+  require_free_observer_slot(network.observer(), this, "network");
   sim_ = &simulator;
   net_ = &network;
   simulator.set_observer(this);

@@ -68,11 +68,19 @@ class Monitor final : public Observer, public ViolationSink {
   void add_oracle(std::unique_ptr<Oracle> oracle);
 
   /// Wires this monitor into simulator + network + every allocator node.
+  /// Throws AlreadyAttachedError (check/fanout.hpp) if any hook already has
+  /// a different observer — compose through an ObserverMux in that case.
   void attach(algo::AllocationSystem& system);
 
   /// Substrate-only wiring (mutex explorer mode): message and clock events
   /// flow automatically, CS-lifecycle events are fed via on_event().
   void attach(sim::Simulator& simulator, net::Network& network);
+
+  /// Mux composition: when this monitor is *not* the registered observer
+  /// (an ObserverMux is), report() still needs the simulator to honor
+  /// stop_on_first. attach() records it implicitly; muxed monitors call
+  /// this instead. detach() never clears hooks it does not own.
+  void bind_simulator(sim::Simulator& simulator) { sim_ = &simulator; }
 
   /// Undoes attach(); called automatically on destruction.
   void detach();

@@ -57,6 +57,12 @@ ReplicatedResult merge_replications(std::span<const ExperimentResult> reps) {
 
 std::vector<ReplicatedResult> run_replicated_jobs(
     const std::vector<ReplicatedJob>& jobs, unsigned threads) {
+  return run_replicated_jobs(jobs, threads, nullptr);
+}
+
+std::vector<ReplicatedResult> run_replicated_jobs(
+    const std::vector<ReplicatedJob>& jobs, unsigned threads,
+    std::atomic<std::uint64_t>* reps_done) {
   std::vector<SweepJob> flat;
   for (const ReplicatedJob& job : jobs) {
     if (job.replications == 0) {
@@ -68,7 +74,10 @@ std::vector<ReplicatedResult> run_replicated_jobs(
       flat.emplace_back([make = job.make, seed]() { return make(seed); });
     }
   }
-  const std::vector<ExperimentResult> results = run_sweep(flat, threads);
+  // Each flattened sweep job is exactly one replication, so the pool's
+  // jobs_done counter is the replication counter.
+  const std::vector<ExperimentResult> results =
+      run_sweep(flat, threads, reps_done);
 
   std::vector<ReplicatedResult> merged;
   merged.reserve(jobs.size());
@@ -83,6 +92,12 @@ std::vector<ReplicatedResult> run_replicated_jobs(
 
 std::vector<ReplicatedResult> run_replicated_sweep(
     const std::vector<ReplicatedConfig>& configs, unsigned threads) {
+  return run_replicated_sweep(configs, threads, nullptr);
+}
+
+std::vector<ReplicatedResult> run_replicated_sweep(
+    const std::vector<ReplicatedConfig>& configs, unsigned threads,
+    std::atomic<std::uint64_t>* reps_done) {
   std::vector<ReplicatedJob> jobs;
   jobs.reserve(configs.size());
   for (const ReplicatedConfig& cfg : configs) {
@@ -96,7 +111,7 @@ std::vector<ReplicatedResult> run_replicated_sweep(
     };
     jobs.push_back(std::move(job));
   }
-  return run_replicated_jobs(jobs, threads);
+  return run_replicated_jobs(jobs, threads, reps_done);
 }
 
 ReplicatedResult run_replicated(const ReplicatedConfig& config,

@@ -11,6 +11,7 @@
 // ran on 1 thread or 64.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -87,6 +88,13 @@ struct ReplicatedResult {
 [[nodiscard]] std::vector<ReplicatedResult> run_replicated_sweep(
     const std::vector<ReplicatedConfig>& configs, unsigned threads = 0);
 
+/// Same, bumping `reps_done` (relaxed) once per finished replication — the
+/// unit an obs::Heartbeat should report, since each replication is one
+/// simulation. Null behaves exactly like the plain overload.
+[[nodiscard]] std::vector<ReplicatedResult> run_replicated_sweep(
+    const std::vector<ReplicatedConfig>& configs, unsigned threads,
+    std::atomic<std::uint64_t>* reps_done);
+
 /// Job-based variant for work that is not a plain ExperimentConfig (the
 /// scenario CLI replicates ScenarioSpec × Algorithm runs this way): `make`
 /// is called once per replication with that replication's substream seed.
@@ -99,5 +107,10 @@ struct ReplicatedJob {
 /// Same fan-out/merge as run_replicated_sweep, over arbitrary jobs.
 [[nodiscard]] std::vector<ReplicatedResult> run_replicated_jobs(
     const std::vector<ReplicatedJob>& jobs, unsigned threads = 0);
+
+/// Job-based variant with live progress, see the config overload.
+[[nodiscard]] std::vector<ReplicatedResult> run_replicated_jobs(
+    const std::vector<ReplicatedJob>& jobs, unsigned threads,
+    std::atomic<std::uint64_t>* reps_done);
 
 }  // namespace mra::experiment

@@ -32,6 +32,12 @@ SweepError::SweepError(std::size_t job_index, std::size_t job_count,
 
 std::vector<ExperimentResult> run_sweep(const std::vector<SweepJob>& jobs,
                                         unsigned threads) {
+  return run_sweep(jobs, threads, nullptr);
+}
+
+std::vector<ExperimentResult> run_sweep(
+    const std::vector<SweepJob>& jobs, unsigned threads,
+    std::atomic<std::uint64_t>* jobs_done) {
   std::vector<ExperimentResult> results(jobs.size());
   if (jobs.empty()) return results;
 
@@ -62,6 +68,9 @@ std::vector<ExperimentResult> run_sweep(const std::vector<SweepJob>& jobs,
           error = std::current_exception();
         }
       }
+      if (jobs_done != nullptr) {
+        jobs_done->fetch_add(1, std::memory_order_relaxed);
+      }
     }
   };
 
@@ -86,12 +95,18 @@ std::vector<ExperimentResult> run_sweep(const std::vector<SweepJob>& jobs,
 
 std::vector<ExperimentResult> run_sweep(
     const std::vector<ExperimentConfig>& configs, unsigned threads) {
+  return run_sweep(configs, threads, nullptr);
+}
+
+std::vector<ExperimentResult> run_sweep(
+    const std::vector<ExperimentConfig>& configs, unsigned threads,
+    std::atomic<std::uint64_t>* jobs_done) {
   std::vector<SweepJob> jobs;
   jobs.reserve(configs.size());
   for (const auto& cfg : configs) {
     jobs.emplace_back([&cfg]() { return run_experiment(cfg); });
   }
-  return run_sweep(jobs, threads);
+  return run_sweep(jobs, threads, jobs_done);
 }
 
 }  // namespace mra::experiment

@@ -6,7 +6,9 @@
 // the output order is deterministic regardless of scheduling.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <stdexcept>
 #include <string>
@@ -50,8 +52,20 @@ class SweepError : public std::runtime_error {
 [[nodiscard]] std::vector<ExperimentResult> run_sweep(
     const std::vector<SweepJob>& jobs, unsigned threads = 0);
 
+/// Same, bumping `jobs_done` (relaxed) after each finished job — including
+/// failed ones — so an obs::Heartbeat polling it reports live progress.
+/// Null behaves exactly like the plain overload.
+[[nodiscard]] std::vector<ExperimentResult> run_sweep(
+    const std::vector<SweepJob>& jobs, unsigned threads,
+    std::atomic<std::uint64_t>* jobs_done);
+
 /// Convenience wrapper: one run_experiment job per config.
 [[nodiscard]] std::vector<ExperimentResult> run_sweep(
     const std::vector<ExperimentConfig>& configs, unsigned threads = 0);
+
+/// Config wrapper with live progress, see the SweepJob overload.
+[[nodiscard]] std::vector<ExperimentResult> run_sweep(
+    const std::vector<ExperimentConfig>& configs, unsigned threads,
+    std::atomic<std::uint64_t>* jobs_done);
 
 }  // namespace mra::experiment

@@ -1,0 +1,38 @@
+#include "metrics/memory.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace mra::metrics {
+namespace {
+
+// Scans /proc/self/status for a "Key:   <value> kB" line. The file is tiny
+// and the probe runs a handful of times per bench row, so a plain line scan
+// is plenty.
+std::uint64_t read_status_kb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  const std::size_t key_len = std::strlen(key);
+  char line[256];
+  std::uint64_t value = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) != 0 || line[key_len] != ':') {
+      continue;
+    }
+    unsigned long long kb = 0;
+    if (std::sscanf(line + key_len + 1, "%llu", &kb) == 1) {
+      value = static_cast<std::uint64_t>(kb);
+    }
+    break;
+  }
+  std::fclose(f);
+  return value;
+}
+
+}  // namespace
+
+std::uint64_t read_vm_rss_kb() { return read_status_kb("VmRSS"); }
+
+std::uint64_t read_vm_peak_kb() { return read_status_kb("VmHWM"); }
+
+}  // namespace mra::metrics

@@ -1,0 +1,16 @@
+// Process-memory probes for the memory-per-site bench gauge. Linux-only by
+// implementation (/proc/self/status); on platforms without procfs every probe
+// returns 0 and callers emit zeroed fields rather than failing.
+#pragma once
+
+#include <cstdint>
+
+namespace mra::metrics {
+
+/// Current resident set size in KiB (VmRSS), or 0 when unavailable.
+[[nodiscard]] std::uint64_t read_vm_rss_kb();
+
+/// Peak resident set size in KiB (VmHWM), or 0 when unavailable.
+[[nodiscard]] std::uint64_t read_vm_peak_kb();
+
+}  // namespace mra::metrics

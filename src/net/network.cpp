@@ -48,6 +48,7 @@ void Network::deliver(SiteId src, SiteId dst, std::unique_ptr<Message> msg,
   assert(src >= 0 && src < node_count() && "Network: bad source");
 
   ++total_messages_;
+  ++in_flight_;
   const std::uint64_t size = kEnvelopeBytes + msg->wire_size();
   total_bytes_ += size;
   const std::string_view kind = msg->kind();
@@ -91,6 +92,7 @@ void Network::deliver(SiteId src, SiteId dst, std::unique_ptr<Message> msg,
     Node* target = nodes_[static_cast<std::size_t>(dst)];
     sim_.schedule_at(at, static_cast<int>(dst), [this, target, src, msg_id,
                           owned = std::move(msg)]() {
+      --in_flight_;
       if (observer_ != nullptr) {
         check::Event dev;
         dev.type = check::EventType::kDeliver;
@@ -114,7 +116,8 @@ void Network::deliver(SiteId src, SiteId dst, std::unique_ptr<Message> msg,
   // inline buffer). Pool recycling in ~Message closes the loop.
   Node* target = nodes_[static_cast<std::size_t>(dst)];
   sim_.schedule_at(at, static_cast<int>(dst),
-                   [target, src, owned = std::move(msg)]() {
+                   [this, target, src, owned = std::move(msg)]() {
+                     --in_flight_;
                      target->on_message(src, *owned);
                    });
 }

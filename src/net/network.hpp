@@ -66,6 +66,11 @@ class Network {
   [[nodiscard]] std::uint64_t total_messages() const { return total_messages_; }
   [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
 
+  /// Messages sent but not yet delivered — the obs-layer in-flight gauge.
+  /// Lifetime accounting, deliberately not cleared by reset_stats(): a
+  /// warm-up reset must not make in-flight go negative.
+  [[nodiscard]] std::uint64_t in_flight_messages() const { return in_flight_; }
+
   /// Per-kind statistics, keyed by Message::kind(). The transparent
   /// comparator lets deliver() look kinds up by string_view without
   /// materialising a std::string per message.
@@ -94,6 +99,7 @@ class Network {
   std::vector<sim::SimTime> last_delivery_;  // [src * N + dst], FIFO watermark
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_bytes_ = 0;
+  std::uint64_t in_flight_ = 0;
   StatsMap stats_;
   check::Observer* observer_ = nullptr;
   std::int64_t observed_msg_id_ = 0;  ///< message ids handed to the observer

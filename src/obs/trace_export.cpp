@@ -1,0 +1,282 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "experiment/json.hpp"
+
+namespace mra::obs {
+namespace {
+
+using experiment::json_escape;
+
+/// Nanoseconds → the trace format's microseconds, printed exactly:
+/// integer µs part, '.', three digits of sub-µs. No floating point.
+std::string us(sim::SimTime ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03" PRId64, ns / 1000,
+                ns % 1000);
+  return buf;
+}
+
+/// Nanoseconds → milliseconds, printed exactly (six fractional digits).
+std::string ms(sim::SimTime ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%06" PRId64, ns / 1'000'000,
+                ns % 1'000'000);
+  return buf;
+}
+
+std::string u64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string i64(std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+std::string resources_label(const std::vector<ResourceId>& resources) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < resources.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(resources[i]);
+  }
+  out += "}";
+  return out;
+}
+
+/// One trace event pending time-ordering. Generation order is deterministic,
+/// so a stable sort by timestamp fixes the byte order completely.
+struct Entry {
+  sim::SimTime at;
+  std::string json;
+};
+
+void add(std::vector<Entry>& out, sim::SimTime at, std::string json) {
+  out.push_back(Entry{at, std::move(json)});
+}
+
+}  // namespace
+
+void write_chrome_trace(const FlightRecorder& recorder, std::ostream& os,
+                        const ChromeTraceOptions& options) {
+  const sim::SimTime horizon = recorder.last_seen();
+  std::vector<Entry> entries;
+
+  for (const RequestSpan& span : recorder.spans()) {
+    const std::string res = resources_label(span.resources);
+    const std::string tid = std::to_string(span.site);
+    const std::string seq = i64(span.seq);
+    const bool acquired = span.acquire_at != kNever;
+    const sim::SimTime wait_end = acquired ? span.acquire_at : horizon;
+    std::string wait = "{\"name\":\"wait " + res + " #" + seq +
+                       "\",\"cat\":\"request\",\"ph\":\"X\",\"ts\":" +
+                       us(span.submit_at) +
+                       ",\"dur\":" + us(wait_end - span.submit_at) +
+                       ",\"pid\":0,\"tid\":" + tid + ",\"args\":{\"seq\":" +
+                       seq + ",\"resources\":\"" + res + "\"";
+    if (span.first_message_at != kNever) {
+      wait += ",\"first_message_ms\":" + ms(span.first_message_at);
+    }
+    if (!acquired) wait += ",\"incomplete\":true";
+    wait += "}}";
+    add(entries, span.submit_at, std::move(wait));
+
+    if (acquired) {
+      const bool released = span.release_at != kNever;
+      const sim::SimTime cs_end = released ? span.release_at : horizon;
+      std::string cs = "{\"name\":\"cs " + res + " #" + seq +
+                       "\",\"cat\":\"cs\",\"ph\":\"X\",\"ts\":" +
+                       us(span.acquire_at) +
+                       ",\"dur\":" + us(cs_end - span.acquire_at) +
+                       ",\"pid\":0,\"tid\":" + tid + ",\"args\":{\"seq\":" +
+                       seq + ",\"resources\":\"" + res + "\"" +
+                       (released ? "" : ",\"incomplete\":true") + "}}";
+      add(entries, span.acquire_at, std::move(cs));
+    }
+    for (const HoldStamp& hold : span.holds) {
+      add(entries, hold.at,
+          "{\"name\":\"hold r" + std::to_string(hold.resource) +
+              "\",\"cat\":\"hold\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" +
+              us(hold.at) + ",\"pid\":0,\"tid\":" + tid +
+              ",\"args\":{\"seq\":" + seq + "}}");
+    }
+  }
+
+  for (const MessageRecord& msg : recorder.messages()) {
+    const std::string kind = json_escape(msg.kind);
+    const std::string id = i64(msg.id);
+    add(entries, msg.send_at,
+        "{\"name\":\"" + kind + "\",\"cat\":\"msg\",\"ph\":\"s\",\"id\":" +
+            id + ",\"ts\":" + us(msg.send_at) + ",\"pid\":0,\"tid\":" +
+            std::to_string(msg.src) + ",\"args\":{\"dst\":" +
+            std::to_string(msg.dst) + ",\"bytes\":" +
+            std::to_string(msg.bytes) + "}}");
+    if (msg.deliver_at != kNever) {
+      add(entries, msg.deliver_at,
+          "{\"name\":\"" + kind +
+              "\",\"cat\":\"msg\",\"ph\":\"f\",\"bp\":\"e\",\"id\":" + id +
+              ",\"ts\":" + us(msg.deliver_at) + ",\"pid\":0,\"tid\":" +
+              std::to_string(msg.dst) + ",\"args\":{\"src\":" +
+              std::to_string(msg.src) + "}}");
+    }
+  }
+
+  const auto& kinds = recorder.kind_names();
+  for (const GaugeSample& g : recorder.gauges()) {
+    const std::string ts = us(g.at);
+    add(entries, g.at,
+        "{\"name\":\"events.queue\",\"ph\":\"C\",\"ts\":" + ts +
+            ",\"pid\":0,\"args\":{\"depth\":" + u64(g.queue_depth) +
+            ",\"capacity\":" + u64(g.queue_capacity) + "}}");
+    add(entries, g.at,
+        "{\"name\":\"net.in_flight\",\"ph\":\"C\",\"ts\":" + ts +
+            ",\"pid\":0,\"args\":{\"messages\":" + u64(g.in_flight) + "}}");
+    add(entries, g.at,
+        "{\"name\":\"net.cumulative\",\"ph\":\"C\",\"ts\":" + ts +
+            ",\"pid\":0,\"args\":{\"messages\":" + u64(g.messages_total) +
+            ",\"bytes\":" + u64(g.bytes_total) + "}}");
+    add(entries, g.at,
+        "{\"name\":\"sites\",\"ph\":\"C\",\"ts\":" + ts +
+            ",\"pid\":0,\"args\":{\"waiting\":" +
+            std::to_string(g.sites_waiting) + ",\"in_cs\":" +
+            std::to_string(g.sites_in_cs) + "}}");
+    for (std::size_t k = 0; k < g.sends_by_kind.size(); ++k) {
+      add(entries, g.at,
+          "{\"name\":\"sends." + json_escape(kinds[k]) +
+              "\",\"ph\":\"C\",\"ts\":" + ts + ",\"pid\":0,\"args\":{" +
+              "\"count\":" + u64(g.sends_by_kind[k]) + "}}");
+    }
+  }
+
+  if (options.violations != nullptr) {
+    for (const check::Violation& v : *options.violations) {
+      std::string sites;
+      for (std::size_t i = 0; i < v.sites.size(); ++i) {
+        if (i != 0) sites += ",";
+        sites += std::to_string(v.sites[i]);
+      }
+      add(entries, v.at,
+          "{\"name\":\"violation: " + json_escape(v.oracle) +
+              "\",\"cat\":\"violation\",\"ph\":\"i\",\"s\":\"p\",\"ts\":" +
+              us(v.at) + ",\"pid\":0,\"tid\":" +
+              std::to_string(v.sites.empty() ? 0 : v.sites.front()) +
+              ",\"args\":{\"detail\":\"" + json_escape(v.detail) +
+              "\",\"sites\":\"" + sites + "\"}}");
+    }
+  }
+
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) { return a.at < b.at; });
+
+  os << "{\"traceEvents\":[\n";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{"
+        "\"name\":\"mra-sim\"}}";
+  std::size_t num_sites = 0;
+  for (const RequestSpan& s : recorder.spans()) {
+    num_sites = std::max(num_sites, static_cast<std::size_t>(s.site) + 1);
+  }
+  for (const MessageRecord& m : recorder.messages()) {
+    num_sites = std::max(num_sites, static_cast<std::size_t>(m.src) + 1);
+    num_sites = std::max(num_sites, static_cast<std::size_t>(m.dst) + 1);
+  }
+  for (std::size_t s = 0; s < num_sites; ++s) {
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << s
+       << ",\"args\":{\"name\":\"site " << s << "\"}}";
+  }
+  for (const Entry& e : entries) os << ",\n" << e.json;
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::vector<const RequestSpan*> slowest_spans(const FlightRecorder& recorder,
+                                              std::size_t k) {
+  const sim::SimTime horizon = recorder.last_seen();
+  std::vector<const RequestSpan*> out;
+  out.reserve(recorder.spans().size());
+  for (const RequestSpan& span : recorder.spans()) out.push_back(&span);
+  std::sort(out.begin(), out.end(),
+            [horizon](const RequestSpan* a, const RequestSpan* b) {
+              const auto wa = a->waiting(horizon);
+              const auto wb = b->waiting(horizon);
+              if (wa != wb) return wa > wb;
+              if (a->site != b->site) return a->site < b->site;
+              return a->seq < b->seq;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+void write_spans_csv(const FlightRecorder& recorder, std::ostream& os) {
+  std::vector<const RequestSpan*> all;
+  all.reserve(recorder.spans().size());
+  for (const RequestSpan& span : recorder.spans()) all.push_back(&span);
+  write_spans_csv(recorder, all, os);
+}
+
+void write_spans_csv(const FlightRecorder& recorder,
+                     const std::vector<const RequestSpan*>& spans,
+                     std::ostream& os) {
+  const sim::SimTime horizon = recorder.last_seen();
+  os << "site,seq,resources,submit_ms,first_message_ms,acquire_ms,"
+        "release_ms,waiting_ms,holding_ms,messages\n";
+  for (const RequestSpan* span : spans) {
+    os << span->site << "," << span->seq << ",";
+    for (std::size_t i = 0; i < span->resources.size(); ++i) {
+      if (i != 0) os << "+";
+      os << span->resources[i];
+    }
+    os << "," << ms(span->submit_at) << ",";
+    if (span->first_message_at != kNever) os << ms(span->first_message_at);
+    os << ",";
+    if (span->acquire_at != kNever) os << ms(span->acquire_at);
+    os << ",";
+    if (span->release_at != kNever) os << ms(span->release_at);
+    os << "," << ms(span->waiting(horizon)) << ",";
+    if (span->completed() && span->acquire_at != kNever) {
+      os << ms(span->release_at - span->acquire_at);
+    }
+    os << "," << span->messages.size() << "\n";
+  }
+}
+
+void write_gauges_json(const FlightRecorder& recorder, std::ostream& os,
+                       int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string pad2 = pad + "  ";
+  const auto& kinds = recorder.kind_names();
+  os << "{\n" << pad2 << "\"interval_ms\": " << ms(recorder.gauge_interval())
+     << ",\n" << pad2 << "\"kinds\": [";
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << "\"" << json_escape(kinds[i]) << "\"";
+  }
+  os << "],\n" << pad2 << "\"samples\": [";
+  const auto& gauges = recorder.gauges();
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    const GaugeSample& g = gauges[i];
+    os << (i == 0 ? "\n" : ",\n") << pad2 << " {\"t_ms\": " << ms(g.at)
+       << ", \"queue_depth\": " << g.queue_depth
+       << ", \"queue_capacity\": " << g.queue_capacity
+       << ", \"in_flight\": " << g.in_flight
+       << ", \"messages\": " << g.messages_total
+       << ", \"bytes\": " << g.bytes_total
+       << ", \"sites_waiting\": " << g.sites_waiting
+       << ", \"sites_in_cs\": " << g.sites_in_cs << ", \"sends_by_kind\": [";
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      if (k != 0) os << ", ";
+      os << (k < g.sends_by_kind.size() ? g.sends_by_kind[k] : 0);
+    }
+    os << "]}";
+  }
+  os << "\n" << pad2 << "]\n" << pad << "}";
+}
+
+}  // namespace mra::obs

@@ -1,0 +1,55 @@
+// Export formats for obs::FlightRecorder data.
+//
+// - write_chrome_trace: Chrome trace-event JSON (the "JSON Array Format"
+//   with a traceEvents wrapper) loadable in Perfetto / chrome://tracing.
+//   One process (pid 0, "mra-sim"), one thread per site. Each request span
+//   becomes a "wait" slice (submit → acquire) and a "cs" slice (acquire →
+//   release); messages become instants plus s/f flow pairs (causal edges);
+//   gauges become counter tracks; violations (optional) become instants.
+// - write_spans_csv: one row per request for tail forensics; pairs with
+//   slowest_spans() to dump only the K worst waits.
+// - write_gauges_json: the time-series as a JSON object, for embedding in
+//   experiment reports.
+//
+// Determinism: output is ordered by (simulated time, emission order) and
+// every number is formatted from integers — byte-identical across runs and
+// hosts. Timestamps are microseconds (the trace format's unit) printed as
+// <ns/1000>.<ns%1000 zero-padded>, exact for any SimTime.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "check/violation.hpp"
+#include "obs/recorder.hpp"
+
+namespace mra::obs {
+
+struct ChromeTraceOptions {
+  /// When set, each violation is emitted as a process-scoped instant named
+  /// after its oracle, with the diagnosis in args.
+  const std::vector<check::Violation>* violations = nullptr;
+};
+
+void write_chrome_trace(const FlightRecorder& recorder, std::ostream& os,
+                        const ChromeTraceOptions& options = {});
+
+/// Header: site,seq,resources,submit_ms,first_message_ms,acquire_ms,
+/// release_ms,waiting_ms,holding_ms,messages. Missing lifecycle points are
+/// empty fields. `spans` defaults to all of the recorder's spans.
+void write_spans_csv(const FlightRecorder& recorder, std::ostream& os);
+void write_spans_csv(const FlightRecorder& recorder,
+                     const std::vector<const RequestSpan*>& spans,
+                     std::ostream& os);
+
+/// The K spans with the longest waiting time (open spans wait until the
+/// recorder's horizon), worst first; ties broken by (site, seq) so the
+/// selection is deterministic.
+[[nodiscard]] std::vector<const RequestSpan*> slowest_spans(
+    const FlightRecorder& recorder, std::size_t k);
+
+void write_gauges_json(const FlightRecorder& recorder, std::ostream& os,
+                       int indent = 0);
+
+}  // namespace mra::obs

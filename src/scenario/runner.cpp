@@ -137,15 +137,26 @@ void ScenarioRunner::stop_issuing() {
 
 namespace {
 
-experiment::ExperimentResult run_scenario_impl(const ScenarioSpec& spec,
-                                               algo::Algorithm algorithm,
-                                               RequestTrace* record) {
+experiment::ExperimentResult run_scenario_impl(
+    const ScenarioSpec& spec, algo::Algorithm algorithm, RequestTrace* record,
+    check::Observer* observer,
+    const std::function<void(algo::AllocationSystem&)>& on_wired = {}) {
   ScenarioSpec s = spec;
   s.system.algorithm = algorithm;
   s.validate();
 
   auto system = algo::AllocationSystem::create(s.system);
   system->start();
+  if (observer != nullptr) {
+    // Wired before the first event fires, so the observer sees the complete
+    // stream — warm-up included (spans born in warm-up stay reconstructable).
+    system->simulator().set_observer(observer);
+    system->network().set_observer(observer);
+    for (SiteId i = 0; i < s.system.num_sites; ++i) {
+      system->node(i).set_observer(observer);
+    }
+  }
+  if (on_wired) on_wired(*system);
 
   ScenarioRunner runner(*system, s, s.system.seed ^ 0x9E3779B97F4A7C15ULL,
                         /*size_buckets=*/6, record);
@@ -170,13 +181,20 @@ experiment::ExperimentResult run_scenario_impl(const ScenarioSpec& spec,
 
 experiment::ExperimentResult run_scenario(const ScenarioSpec& spec,
                                           algo::Algorithm algorithm) {
-  return run_scenario_impl(spec, algorithm, nullptr);
+  return run_scenario_impl(spec, algorithm, nullptr, nullptr);
+}
+
+experiment::ExperimentResult run_scenario(
+    const ScenarioSpec& spec, algo::Algorithm algorithm,
+    check::Observer* observer,
+    const std::function<void(algo::AllocationSystem&)>& on_wired) {
+  return run_scenario_impl(spec, algorithm, nullptr, observer, on_wired);
 }
 
 RequestTrace record_scenario(const ScenarioSpec& spec,
                              algo::Algorithm algorithm) {
   RequestTrace trace;
-  (void)run_scenario_impl(spec, algorithm, &trace);
+  (void)run_scenario_impl(spec, algorithm, &trace, nullptr);
   return trace;
 }
 

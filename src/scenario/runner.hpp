@@ -14,6 +14,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -102,6 +103,21 @@ class ScenarioRunner {
 /// result. Throws sim::EventBudgetExceeded on protocol livelock.
 [[nodiscard]] experiment::ExperimentResult run_scenario(
     const ScenarioSpec& spec, algo::Algorithm algorithm);
+
+/// Same run with an observer (a check::Monitor, an obs::FlightRecorder, or
+/// a check::ObserverMux composing both) wired into the simulator, network
+/// and every node *before* the first event fires, so it sees the complete
+/// stream including warm-up. Borrowed; must outlive the call. Note the
+/// network's cumulative counters are reset at the warm-up boundary (as in
+/// the plain overload) — observers sampling them see the reset.
+///
+/// `on_wired` (optional) runs right after the observer is wired, before any
+/// event fires — the spot to bind engine gauges to the freshly built system
+/// (obs::FlightRecorder::enable_gauges needs its simulator and network).
+[[nodiscard]] experiment::ExperimentResult run_scenario(
+    const ScenarioSpec& spec, algo::Algorithm algorithm,
+    check::Observer* observer,
+    const std::function<void(algo::AllocationSystem&)>& on_wired = {});
 
 /// Same run, returning the trace of every request born (warm-up included).
 [[nodiscard]] RequestTrace record_scenario(const ScenarioSpec& spec,

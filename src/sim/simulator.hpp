@@ -117,6 +117,16 @@ class Simulator {
   /// True when the pending-event set is empty.
   [[nodiscard]] bool idle() const { return queue_.empty(); }
 
+  /// Live (scheduled, not yet fired/cancelled) events — the obs-layer
+  /// queue-depth gauge.
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+
+  /// Slots the queue slab has ever allocated: a memory high-water mark in
+  /// events (each slot is one cache line), not a live count.
+  [[nodiscard]] std::size_t queue_capacity() const {
+    return queue_.capacity();
+  }
+
   /// Total events processed over the simulator's lifetime.
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
 

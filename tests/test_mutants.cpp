@@ -6,10 +6,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
 
 #include "check/explore.hpp"
+#include "check/fanout.hpp"
 #include "check/mutant.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace_export.hpp"
 #include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 
 namespace mra::check {
 namespace {
@@ -232,6 +237,60 @@ TEST_F(MutantTest, CmForkBottleConfusionCaughtByMutualExclusion) {
   set_active_mutant(Mutant::kNone);
   EXPECT_TRUE(has_oracle(check_replay(repro), "mutual-exclusion"))
       << "v2 repro trace alone did not re-trigger the violation";
+}
+
+// Forensics contract: with a Monitor and an obs::FlightRecorder composed
+// through one ObserverMux, the span timeline pinpoints the violating
+// acquire — the recorder holds a span whose acquire stamp is exactly the
+// instant and site the mutual-exclusion oracle flagged, and the exported
+// Chrome trace carries the violation marker next to it.
+TEST_F(MutantTest, RecorderSpanPinpointsViolatingAcquire) {
+  set_active_mutant(Mutant::kLassPrematureEntry);
+  const scenario::ScenarioSpec spec = hunt_spec();
+
+  MonitorConfig mc;
+  mc.num_sites = spec.system.num_sites;
+  mc.num_resources = spec.system.num_resources;
+  Monitor monitor(mc);
+  obs::FlightRecorder recorder;
+  ObserverMux mux;
+  mux.add(monitor);
+  mux.add(recorder);
+  (void)scenario::run_scenario(
+      spec, algo::Algorithm::kLassWithoutLoan, &mux,
+      [&monitor](algo::AllocationSystem& system) {
+        monitor.bind_simulator(system.simulator());
+      });
+
+  ASSERT_FALSE(monitor.violations().empty())
+      << "premature entry was not detected";
+  const Violation* flagged = nullptr;
+  for (const Violation& v : monitor.violations()) {
+    if (v.oracle == "mutual-exclusion") {
+      flagged = &v;
+      break;
+    }
+  }
+  ASSERT_NE(flagged, nullptr);
+
+  bool span_found = false;
+  for (const obs::RequestSpan& span : recorder.spans()) {
+    if (span.acquire_at == flagged->at &&
+        std::find(flagged->sites.begin(), flagged->sites.end(), span.site) !=
+            flagged->sites.end()) {
+      span_found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(span_found)
+      << "no recorded span acquires at the flagged instant";
+
+  std::ostringstream trace;
+  obs::ChromeTraceOptions options;
+  options.violations = &monitor.violations();
+  obs::write_chrome_trace(recorder, trace, options);
+  EXPECT_NE(trace.str().find("violation: mutual-exclusion"),
+            std::string::npos);
 }
 
 // Clean builds: activation is impossible, so the hooks are inert by

@@ -1,0 +1,330 @@
+// The observability layer (src/obs/ + check/fanout): span reconstruction on
+// hand-fed event streams, golden Chrome-trace/CSV bytes, byte-identical
+// exports across identical runs, and the observer fan-out contract (mux
+// composition, attach-ownership errors).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algo/factory.hpp"
+#include "check/explore.hpp"
+#include "check/fanout.hpp"
+#include "check/monitor.hpp"
+#include "core/resource_set.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace_export.hpp"
+#include "scenario/runner.hpp"
+
+namespace mra::obs {
+namespace {
+
+check::Event cs_event(check::EventType type, sim::SimTime at, SiteId site,
+                      const ResourceSet* rs, std::int64_t seq = 1) {
+  check::Event e;
+  e.type = type;
+  e.at = at;
+  e.site = site;
+  e.seq = seq;
+  e.resources = rs;
+  return e;
+}
+
+check::Event msg_event(check::EventType type, sim::SimTime at, SiteId src,
+                       SiteId dst, std::int64_t id, std::uint32_t bytes = 0) {
+  check::Event e;
+  e.type = type;
+  e.at = at;
+  e.site = src;
+  e.peer = dst;
+  e.seq = id;
+  e.kind = "Req";
+  e.bytes = bytes;
+  return e;
+}
+
+/// The shared hand-fed scenario: site 0 completes one request (with a
+/// custody stamp and one message), site 1 is still waiting when the run
+/// ends at t = 6 ms.
+void feed_golden_stream(FlightRecorder& rec) {
+  const ResourceSet ab(4, {0, 1});
+  const ResourceSet c(4, {2});
+  rec.on_advance(sim::from_ms(1));
+  rec.on_event(cs_event(check::EventType::kRequest, sim::from_ms(1), 0, &ab));
+  rec.on_event(msg_event(check::EventType::kSend, sim::from_ms(1), 0, 1, 1,
+                         /*bytes=*/24));
+  rec.on_advance(sim::from_ms(2));
+  rec.on_event(msg_event(check::EventType::kDeliver, sim::from_ms(2), 0, 1, 1));
+  {
+    check::Event hold;
+    hold.type = check::EventType::kHold;
+    hold.at = sim::from_ms(2);
+    hold.site = 0;
+    hold.seq = 1;
+    hold.resource = 0;
+    rec.on_event(hold);
+  }
+  rec.on_advance(sim::from_ms(3));
+  rec.on_event(cs_event(check::EventType::kAcquire, sim::from_ms(3), 0, &ab));
+  rec.on_advance(sim::from_ms(4));
+  rec.on_event(cs_event(check::EventType::kRequest, sim::from_ms(4), 1, &c));
+  rec.on_advance(sim::from_ms(5));
+  rec.on_event(cs_event(check::EventType::kRelease, sim::from_ms(5), 0, &ab));
+  rec.on_advance(sim::from_ms(6));
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+void expect_same_lines(const std::string& expected,
+                       const std::string& actual) {
+  const std::vector<std::string> want = split_lines(expected);
+  const std::vector<std::string> got = split_lines(actual);
+  ASSERT_EQ(want.size(), got.size()) << actual;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i], got[i]) << "line " << i + 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Span reconstruction
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorderTest, ReconstructsSpanLifecycle) {
+  FlightRecorder rec;
+  feed_golden_stream(rec);
+
+  ASSERT_EQ(rec.spans().size(), 2u);
+  const RequestSpan& done = rec.spans()[0];
+  EXPECT_EQ(done.site, 0);
+  EXPECT_EQ(done.seq, 1);
+  EXPECT_EQ(done.resources, (std::vector<ResourceId>{0, 1}));
+  EXPECT_EQ(done.submit_at, sim::from_ms(1));
+  EXPECT_EQ(done.first_message_at, sim::from_ms(1));
+  EXPECT_EQ(done.acquire_at, sim::from_ms(3));
+  EXPECT_EQ(done.release_at, sim::from_ms(5));
+  EXPECT_TRUE(done.completed());
+  EXPECT_EQ(done.waiting(rec.last_seen()), sim::from_ms(2));
+  ASSERT_EQ(done.holds.size(), 1u);
+  EXPECT_EQ(done.holds[0].resource, 0);
+  ASSERT_EQ(done.messages.size(), 1u);
+
+  const RequestSpan& open = rec.spans()[1];
+  EXPECT_FALSE(open.completed());
+  EXPECT_EQ(open.acquire_at, kNever);
+  // Still waiting: time waited runs to the recorder's horizon (6 ms).
+  EXPECT_EQ(open.waiting(rec.last_seen()), sim::from_ms(2));
+
+  ASSERT_EQ(rec.messages().size(), 1u);
+  const MessageRecord& msg = rec.messages()[0];
+  EXPECT_EQ(msg.kind, "Req");
+  EXPECT_EQ(msg.bytes, 24u);
+  EXPECT_EQ(msg.send_at, sim::from_ms(1));
+  EXPECT_EQ(msg.deliver_at, sim::from_ms(2));
+  EXPECT_EQ(msg.span, 0);  // attributed to site 0's open span
+}
+
+TEST(FlightRecorderTest, SendWithNoOpenSpanStaysDetached) {
+  FlightRecorder rec;
+  rec.on_event(msg_event(check::EventType::kSend, sim::from_ms(1), 2, 3, 1));
+  ASSERT_EQ(rec.messages().size(), 1u);
+  EXPECT_EQ(rec.messages()[0].span, -1);
+  EXPECT_TRUE(rec.spans().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Golden exports: the byte format is the contract Perfetto and the CI
+// schema check rely on, so it is pinned here literally.
+// ---------------------------------------------------------------------------
+
+TEST(TraceExportTest, GoldenChromeTrace) {
+  FlightRecorder rec;
+  feed_golden_stream(rec);
+  std::ostringstream out;
+  write_chrome_trace(rec, out);
+
+  const std::string expected = R"({"traceEvents":[
+{"name":"process_name","ph":"M","pid":0,"args":{"name":"mra-sim"}},
+{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"site 0"}},
+{"name":"thread_name","ph":"M","pid":0,"tid":1,"args":{"name":"site 1"}},
+{"name":"wait {0,1} #1","cat":"request","ph":"X","ts":1000.000,"dur":2000.000,"pid":0,"tid":0,"args":{"seq":1,"resources":"{0,1}","first_message_ms":1.000000}},
+{"name":"Req","cat":"msg","ph":"s","id":1,"ts":1000.000,"pid":0,"tid":0,"args":{"dst":1,"bytes":24}},
+{"name":"hold r0","cat":"hold","ph":"i","s":"t","ts":2000.000,"pid":0,"tid":0,"args":{"seq":1}},
+{"name":"Req","cat":"msg","ph":"f","bp":"e","id":1,"ts":2000.000,"pid":0,"tid":1,"args":{"src":0}},
+{"name":"cs {0,1} #1","cat":"cs","ph":"X","ts":3000.000,"dur":2000.000,"pid":0,"tid":0,"args":{"seq":1,"resources":"{0,1}"}},
+{"name":"wait {2} #1","cat":"request","ph":"X","ts":4000.000,"dur":2000.000,"pid":0,"tid":1,"args":{"seq":1,"resources":"{2}","incomplete":true}}
+],"displayTimeUnit":"ms"}
+)";
+  expect_same_lines(expected, out.str());
+}
+
+TEST(TraceExportTest, GoldenSpansCsv) {
+  FlightRecorder rec;
+  feed_golden_stream(rec);
+  std::ostringstream out;
+  write_spans_csv(rec, out);
+
+  const std::string expected =
+      "site,seq,resources,submit_ms,first_message_ms,acquire_ms,"
+      "release_ms,waiting_ms,holding_ms,messages\n"
+      "0,1,0+1,1.000000,1.000000,3.000000,5.000000,2.000000,2.000000,1\n"
+      "1,1,2,4.000000,,,,2.000000,,0\n";
+  expect_same_lines(expected, out.str());
+}
+
+TEST(TraceExportTest, SlowestSpansOrderAndTieBreak) {
+  FlightRecorder rec;
+  feed_golden_stream(rec);
+  // Third span: site 0 again, submitted late — waits 0.5 ms to the horizon.
+  const ResourceSet d(4, {3});
+  rec.on_event(cs_event(check::EventType::kRequest,
+                        sim::from_ms(5) + sim::microseconds(500), 0, &d, 2));
+  rec.on_advance(sim::from_ms(6));
+
+  const auto slowest = slowest_spans(rec, 2);
+  ASSERT_EQ(slowest.size(), 2u);
+  // Spans 0 and 1 tie at 2 ms waiting; the lower site wins the tie.
+  EXPECT_EQ(slowest[0]->site, 0);
+  EXPECT_EQ(slowest[0]->seq, 1);
+  EXPECT_EQ(slowest[1]->site, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism over a real run
+// ---------------------------------------------------------------------------
+
+struct Export {
+  std::string trace;
+  std::string csv;
+  std::string gauges;
+  std::size_t spans = 0;
+};
+
+Export run_and_export() {
+  const scenario::ScenarioSpec spec = check::tiny_exhaustive_spec(3, 2);
+  FlightRecorder rec;
+  (void)scenario::run_scenario(
+      spec, algo::Algorithm::kLassWithLoan, &rec,
+      [&rec](algo::AllocationSystem& system) {
+        rec.enable_gauges(system.simulator(), system.network(),
+                          sim::from_ms(5));
+      });
+  Export out;
+  out.spans = rec.spans().size();
+  std::ostringstream trace, csv, gauges;
+  write_chrome_trace(rec, trace);
+  write_spans_csv(rec, csv);
+  write_gauges_json(rec, gauges);
+  out.trace = trace.str();
+  out.csv = csv.str();
+  out.gauges = gauges.str();
+  return out;
+}
+
+TEST(TraceExportTest, RepeatedRunsExportIdenticalBytes) {
+  const Export a = run_and_export();
+  const Export b = run_and_export();
+  EXPECT_GT(a.spans, 0u);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.csv, b.csv);
+  EXPECT_EQ(a.gauges, b.gauges);
+}
+
+TEST(FlightRecorderTest, GaugesSampleOnTheSimulatedTimeGrid) {
+  const scenario::ScenarioSpec spec = check::tiny_exhaustive_spec(3, 2);
+  FlightRecorder rec;
+  (void)scenario::run_scenario(
+      spec, algo::Algorithm::kLassWithLoan, &rec,
+      [&rec](algo::AllocationSystem& system) {
+        rec.enable_gauges(system.simulator(), system.network(),
+                          sim::from_ms(5));
+      });
+  ASSERT_GE(rec.gauges().size(), 2u);
+  for (std::size_t i = 0; i < rec.gauges().size(); ++i) {
+    EXPECT_EQ(rec.gauges()[i].at,
+              static_cast<sim::SimTime>(i) * sim::from_ms(5));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Observer fan-out
+// ---------------------------------------------------------------------------
+
+struct CountingObserver final : check::Observer {
+  int events = 0;
+  int advances = 0;
+  void on_event(const check::Event&) override { ++events; }
+  void on_advance(sim::SimTime) override { ++advances; }
+};
+
+TEST(ObserverMuxTest, ForwardsToEveryObserverInOrder) {
+  CountingObserver a;
+  CountingObserver b;
+  check::ObserverMux mux;
+  mux.add(a);
+  mux.add(b);
+  const ResourceSet rs(4, {0});
+  mux.on_event(cs_event(check::EventType::kRequest, 1, 0, &rs));
+  mux.on_advance(2);
+  EXPECT_EQ(a.events, 1);
+  EXPECT_EQ(b.events, 1);
+  EXPECT_EQ(a.advances, 1);
+  EXPECT_EQ(b.advances, 1);
+}
+
+TEST(ObserverMuxTest, MonitorAndRecorderComposeOverOneRun) {
+  const scenario::ScenarioSpec spec = check::tiny_exhaustive_spec(3, 2);
+  check::MonitorConfig mc;
+  mc.num_sites = spec.system.num_sites;
+  mc.num_resources = spec.system.num_resources;
+  check::Monitor monitor(mc);
+  FlightRecorder rec;
+  check::ObserverMux mux;
+  mux.add(monitor);
+  mux.add(rec);
+  (void)scenario::run_scenario(
+      spec, algo::Algorithm::kLassWithLoan, &mux,
+      [&monitor](algo::AllocationSystem& system) {
+        monitor.bind_simulator(system.simulator());
+      });
+  // Both consumers saw the same complete stream.
+  EXPECT_TRUE(monitor.ok()) << monitor.violations().front().detail;
+  EXPECT_GT(monitor.events_seen(), 0u);
+  EXPECT_GT(rec.spans().size(), 0u);
+  EXPECT_EQ(rec.messages().size() > 0, true);
+}
+
+TEST(ObserverMuxTest, AttachRefusesToDisplaceForeignObserver) {
+  algo::SystemConfig cfg;
+  cfg.num_sites = 3;
+  cfg.num_resources = 2;
+  auto system = algo::AllocationSystem::create(cfg);
+  system->start();
+
+  check::MonitorConfig mc;
+  mc.num_sites = cfg.num_sites;
+  mc.num_resources = cfg.num_resources;
+  check::Monitor monitor(mc);
+  monitor.attach(*system);
+
+  check::ObserverMux mux;
+  EXPECT_THROW(mux.attach(*system), check::AlreadyAttachedError);
+  check::Monitor second(mc);
+  EXPECT_THROW(second.attach(*system), check::AlreadyAttachedError);
+
+  // detach() frees the hooks: the documented fix (one mux, both consumers)
+  // then wires cleanly.
+  monitor.detach();
+  mux.add(monitor);
+  EXPECT_NO_THROW(mux.attach(*system));
+  mux.detach();
+}
+
+}  // namespace
+}  // namespace mra::obs
