@@ -296,10 +296,12 @@ int main(int argc, char** argv) {
   // Memory rows first, on a pristine heap: the throughput workloads below
   // allocate (and free) enough to both inflate VmHWM and feed the allocator
   // arena, which would corrupt the per-site deltas. Measured once — a
-  // repeat on the warmed arena would read ~0. Sizes are capped at 1024:
-  // the per-site footprint grows superlinearly (~5 MB/site at N=4096,
-  // >20 GB total — the very problem this row exists to track), which would
-  // OOM a stock CI runner.
+  // repeat on the warmed arena would read ~0. Sizes stop at 1024 because
+  // larger N belongs to bench/scalability_n.cpp's bigscale rows (which go
+  // to 10^6 under --max-sites); these rows exist to catch per-site
+  // regressions at the paper's scale. The flat per-site layout
+  // (DESIGN.md §13) keeps bytes/site roughly constant across this range —
+  // before it, N=1024 cost ~1.3 MB/site.
   {
     const std::vector<int> memory_sizes = {64, 256, 1024};
     std::vector<std::unique_ptr<algo::AllocationSystem>> keep;

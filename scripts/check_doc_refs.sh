@@ -34,6 +34,19 @@ for doc in README.md DESIGN.md; do
   done
 done
 
+# Source comments cite design sections as "DESIGN.md §N" (optionally
+# §N.M); every cited integer section must still exist as a "## N." heading,
+# or the comment silently points at nothing after a renumbering.
+sections=$(grep -oE '^## [0-9]+\.' DESIGN.md | grep -oE '[0-9]+' | sort -un)
+cited=$(grep -rhoE 'DESIGN\.md §[0-9]+' src tests bench examples scripts \
+        | grep -oE '[0-9]+$' | sort -un || true)
+for sec in $cited; do
+  if ! printf '%s\n' "$sections" | grep -qx "$sec"; then
+    echo "source comments cite DESIGN.md §$sec but DESIGN.md has no '## $sec.' heading"
+    fail=1
+  fi
+done
+
 if [ "$fail" -ne 0 ]; then
   echo "doc reference check FAILED"
   exit 1

@@ -14,12 +14,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "core/allocator.hpp"
+#include "core/flat_map.hpp"
 #include "core/trace.hpp"
 
 namespace mra::algo {
@@ -103,7 +103,10 @@ class ChandyMisraNode final : public AllocatorNode {
   ProcessState state_ = ProcessState::kIdle;
   Phase phase_ = Phase::kIdle;
 
-  std::map<SiteId, ForkState> forks_;     ///< one per neighbour
+  /// One per neighbour; sorted flat storage (iteration order matches the
+  /// std::map it replaced — DESIGN.md §13). Degree is the site's conflict
+  /// fan-out, not N.
+  core::FlatMap<SiteId, ForkState, 4> forks_;
   std::vector<BottleState> bottles_;      ///< per resource
 };
 

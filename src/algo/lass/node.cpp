@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iterator>
 #include <sstream>
 #include <stdexcept>
 
@@ -18,7 +19,6 @@ LassNode::LassNode(const LassConfig& config, Trace* trace)
       t_required_(config.num_resources),
       t_owned_(config.num_resources),
       cnt_needed_(config.num_resources),
-      pending_req_(static_cast<std::size_t>(config.num_resources)),
       t_lent_(config.num_resources) {
   if (config.num_sites <= 0 || config.num_resources <= 0) {
     throw std::invalid_argument("LassConfig: num_sites and num_resources must be positive");
@@ -28,14 +28,19 @@ LassNode::LassNode(const LassConfig& config, Trace* trace)
 
 void LassNode::on_start() {
   // Initialization (Annex A, lines 45-67): the elected node owns every
-  // token; everyone else points its father at the elected node.
+  // token; everyone else points its father at the elected node. Only the
+  // elected node materializes token state up front (its copies are the
+  // authoritative ones); every other site starts with zero token snapshots
+  // and materializes them lazily via tok() — a fresh LassToken(r, N) equals
+  // the initial state, so the lazy path is behavior-identical (§13).
   tok_dir_.assign(static_cast<std::size_t>(cfg_.num_resources),
                   id() == cfg_.elected_node ? kNoSite : cfg_.elected_node);
   last_tok_.clear();
-  last_tok_.reserve(static_cast<std::size_t>(cfg_.num_resources));
-  for (ResourceId r = 0; r < cfg_.num_resources; ++r) {
-    last_tok_.emplace_back(r, cfg_.num_sites);
-    if (id() == cfg_.elected_node) t_owned_.insert(r);
+  if (id() == cfg_.elected_node) {
+    for (ResourceId r = 0; r < cfg_.num_resources; ++r) {
+      (void)tok(r);
+      t_owned_.insert(r);
+    }
   }
 }
 
@@ -58,11 +63,14 @@ ReqItem LassNode::my_res_request(ResourceId r) const {
 bool LassNode::is_obsolete(const ReqItem& req) const {
   // §4.2.1: a request is obsolete when the (locally known) token state shows
   // it has already been served. last_cs / last_req_cnt only grow, so a stale
-  // local snapshot can only under-approximate obsolescence — safe.
-  const auto& t = last_tok_[static_cast<std::size_t>(req.r)];
-  const auto site = static_cast<std::size_t>(req.sinit);
-  if (req.id <= t.last_cs[site]) return true;
-  if (req.type == ReqType::kCnt && req.id <= t.last_req_cnt[site]) return true;
+  // local snapshot can only under-approximate obsolescence — safe. An
+  // unmaterialized token reads all-zero and ids start at 1: never obsolete.
+  const LassToken* t = find_tok(req.r);
+  if (t == nullptr) return false;
+  if (req.id <= t->last_cs(req.sinit)) return true;
+  if (req.type == ReqType::kCnt && req.id <= t->last_req_cnt(req.sinit)) {
+    return true;
+  }
   return false;
 }
 
@@ -123,7 +131,7 @@ void LassNode::do_release() {
   t_required_.for_each([&](ResourceId r) {
     assert(owns(r));
     LassToken& t = tok(r);
-    t.last_cs[static_cast<std::size_t>(id())] = request_seq_;
+    t.set_last_cs(id(), request_seq_);
     const SiteId lender = t.lender;
     if (lender != kNoSite && lender != id()) {
       // Borrowed token: return it straight to the lender (line 95-98). Any
@@ -195,11 +203,15 @@ void LassNode::process_cnt_needed_empty() {
 // ---------------------------------------------------------------------------
 bool LassNode::can_lend(const ReqItem& req) const {
   if (!req.missing.subset_of(t_owned_)) return false;
-  // None of our owned tokens may itself be borrowed.
+  // None of our owned tokens may itself be borrowed. Owned tokens are
+  // always materialized (ownership is only gained in on_start/process_update,
+  // both of which materialize), so a missing snapshot means not borrowed.
   bool borrowed = false;
   t_owned_.for_each([&](ResourceId r) {
-    const SiteId lender = last_tok_[static_cast<std::size_t>(r)].lender;
-    if (lender != kNoSite && lender != id()) borrowed = true;
+    const LassToken* t = find_tok(r);
+    if (t != nullptr && t->lender != kNoSite && t->lender != id()) {
+      borrowed = true;
+    }
   });
   if (borrowed) return false;
   if (!t_lent_.empty()) return false;          // one borrower at a time
@@ -243,8 +255,8 @@ void LassNode::process_req_loan(const ReqItem& req) {
 // ---------------------------------------------------------------------------
 void LassNode::process_update(const LassToken& t) {
   const ResourceId r = t.r;
-  last_tok_[static_cast<std::size_t>(r)] = t;
   LassToken& mine = tok(r);
+  mine = t;
   t_owned_.insert(r);
   tok_dir(r) = kNoSite;
 
@@ -264,14 +276,17 @@ void LassNode::process_update(const LassToken& t) {
   // Drop queue entries that were satisfied in the meantime, including our
   // own: receiving the token satisfies whatever claim we had queued in it
   // (a stale self-entry would otherwise be "served" by sending to self).
-  mine.wqueue.prune_obsolete(mine.last_cs);
-  mine.wloan.prune_obsolete(mine.last_cs);
+  mine.wqueue.prune_obsolete(mine.cs_ids);
+  mine.wloan.prune_obsolete(mine.cs_ids);
   mine.wqueue.remove_site(id());
   mine.wloan.remove_site(id());
 
   // Fold the local request history into the token (lines 145-158).
-  auto pending = std::move(pending_req_[static_cast<std::size_t>(r)]);
-  pending_req_[static_cast<std::size_t>(r)].clear();
+  core::SmallVector<ReqItem, 1> pending;
+  if (auto it = pending_req_.find(r); it != pending_req_.end()) {
+    pending = std::move(it->second);
+    pending_req_.erase(it);
+  }
   for (const ReqItem& req : pending) {
     if (is_obsolete(req)) continue;
     if (req.sinit == id()) continue;  // [deviation 2] self-request, satisfied
@@ -291,7 +306,7 @@ void LassNode::process_update(const LassToken& t) {
 
 CounterValue LassNode::assign_counter(const ReqItem& req) {
   LassToken& t = tok(req.r);
-  t.last_req_cnt[static_cast<std::size_t>(req.sinit)] = req.id;
+  t.set_last_req_cnt(req.sinit, req.id);
   if (!check::mutant_enabled(check::Mutant::kLassSkipCounterReply)) {
     // Seeded bug (when skipped): the counter-update reply never leaves, so
     // the requester waits in waitS forever (deadlock/starvation oracles).
@@ -363,18 +378,18 @@ void LassNode::process_request_item(const ReqItem& req,
         state_ == ProcessState::kWaitCS && t_required_.contains(r) &&
         my_res_request(r).precedes(req);
     if (we_precede || t_lent_.contains(r)) {
-      pending_req_[static_cast<std::size_t>(r)].push_back(req);
+      pending_req_[r].push_back(req);
       return;
     }
   }
 
   if (std::find(visited.begin(), visited.end(), father) == visited.end()) {
-    pending_req_[static_cast<std::size_t>(r)].push_back(req);
+    pending_req_[r].push_back(req);
     buffer_request(father, req);
   } else {
     // [deviation 1] Forwarding stops here; keep the request in the local
     // history so a future token visit serves it (lemma 6's argument).
-    pending_req_[static_cast<std::size_t>(r)].push_back(req);
+    pending_req_[r].push_back(req);
   }
 }
 
@@ -426,7 +441,7 @@ void LassNode::serve_queues_after_token() {
     if (!owns(r)) continue;
     LassToken& t = tok(r);
     if (t.wloan.empty()) continue;
-    std::vector<ReqItem> copy = t.wloan.items();
+    SortedRequestQueue::Items copy = t.wloan.items();
     t.wloan.clear();
     for (const ReqItem& req : copy) {
       // Serving one loan request can ship this very token (grant or
@@ -571,7 +586,8 @@ void LassNode::flush_requests(std::vector<SiteId> visited) {
       }
       auto msg = std::make_unique<RequestBundleMsg>();
       msg->visited = visited;
-      msg->items = std::move(items);
+      msg->items.assign(std::make_move_iterator(items.begin()),
+                        std::make_move_iterator(items.end()));
       network_->send(id(), dst, std::move(msg));
     }
   }
@@ -583,7 +599,7 @@ void LassNode::flush_responses() {
     cnt_buf_.clear();
     for (auto& [dst, items] : bufs) {
       auto msg = std::make_unique<CounterBundleMsg>();
-      msg->items = std::move(items);
+      msg->items.assign(items.begin(), items.end());
       network_->send(id(), dst, std::move(msg));
     }
   }
@@ -592,7 +608,8 @@ void LassNode::flush_responses() {
     tok_buf_.clear();
     for (auto& [dst, items] : bufs) {
       auto msg = std::make_unique<TokenBundleMsg>();
-      msg->items = std::move(items);
+      msg->items.assign(std::make_move_iterator(items.begin()),
+                        std::make_move_iterator(items.end()));
       network_->send(id(), dst, std::move(msg));
     }
   }

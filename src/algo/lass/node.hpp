@@ -7,7 +7,6 @@
 // and listed in DESIGN.md §5.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -15,7 +14,9 @@
 #include "algo/lass/messages.hpp"
 #include "algo/lass/token.hpp"
 #include "core/allocator.hpp"
+#include "core/flat_map.hpp"
 #include "core/mark.hpp"
+#include "core/small_vector.hpp"
 #include "core/trace.hpp"
 
 namespace mra::algo::lass {
@@ -61,8 +62,11 @@ class LassNode final : public AllocatorNode {
   // Introspection for tests / invariant checks ------------------------------
   [[nodiscard]] const ResourceSet& owned_tokens() const { return t_owned_; }
   [[nodiscard]] const ResourceSet& lent_resources() const { return t_lent_; }
-  [[nodiscard]] const LassToken& token_snapshot(ResourceId r) const {
-    return last_tok_[static_cast<std::size_t>(r)];
+  /// The site's view of r's token. Tokens materialize lazily (§13); a
+  /// never-seen token reads as the initial state, so a copy is returned.
+  [[nodiscard]] LassToken token_snapshot(ResourceId r) const {
+    const LassToken* t = find_tok(r);
+    return t != nullptr ? *t : LassToken(r, cfg_.num_sites);
   }
   [[nodiscard]] bool loan_asked() const { return loan_asked_; }
   [[nodiscard]] const CounterVector& counter_vector() const { return my_vector_; }
@@ -75,8 +79,17 @@ class LassNode final : public AllocatorNode {
  private:
   // -- helpers mirroring the pseudo-code procedures --------------------------
   [[nodiscard]] bool owns(ResourceId r) const { return t_owned_.contains(r); }
+  /// Materializes r's token snapshot on first touch. A fresh
+  /// LassToken(r, N) is exactly the pre-refactor eagerly-initialized state
+  /// (counter 1, all ids 0, empty queues, no lender), so lazy creation is
+  /// behavior-identical while an untouched site pays 0 bytes for r.
   [[nodiscard]] LassToken& tok(ResourceId r) {
-    return last_tok_[static_cast<std::size_t>(r)];
+    return last_tok_.try_emplace(r, r, cfg_.num_sites).first->second;
+  }
+  /// Read-only lookup; nullptr means "still in the initial state".
+  [[nodiscard]] const LassToken* find_tok(ResourceId r) const {
+    auto it = last_tok_.find(r);
+    return it == last_tok_.end() ? nullptr : &it->second;
   }
   [[nodiscard]] SiteId& tok_dir(ResourceId r) {
     return tok_dir_[static_cast<std::size_t>(r)];
@@ -111,22 +124,28 @@ class LassNode final : public AllocatorNode {
   Trace* trace_ = nullptr;
 
   // -- local variables (Annex A, Figure 9) ------------------------------------
+  // Per-site memory budget (DESIGN.md §13): tok_dir_ and my_vector_ stay
+  // dense O(M) — M is the paper-fixed resource count (80), independent of
+  // N. Everything that used to be O(N) or O(M x heavy) is sparse: token
+  // snapshots materialize on first touch, the request history and the
+  // aggregation buffers only hold live entries.
   ProcessState state_ = ProcessState::kIdle;
   std::vector<SiteId> tok_dir_;        // father per resource; kNoSite = root
   CounterVector my_vector_;            // counters of the current request
-  std::vector<LassToken> last_tok_;    // last token snapshot per resource
+  core::FlatMap<ResourceId, LassToken, 1> last_tok_;  // lazy token snapshots
   ResourceSet t_required_;             // current request (== current_)
   ResourceSet t_owned_;                // owned tokens
   ResourceSet cnt_needed_;             // counters not yet received
-  std::vector<std::vector<ReqItem>> pending_req_;  // local request history
+  core::FlatMap<ResourceId, core::SmallVector<ReqItem, 1>, 1>
+      pending_req_;                    // local request history, sparse
   ResourceSet t_lent_;                 // resources lent out
   bool loan_asked_ = false;
   bool single_res_registered_ = false;  // §4.6.1 bookkeeping
 
-  // -- aggregation buffers -----------------------------------------------------
-  std::map<SiteId, std::vector<ReqItem>> req_buf_;
-  std::map<SiteId, std::vector<CounterItem>> cnt_buf_;
-  std::map<SiteId, std::vector<LassToken>> tok_buf_;
+  // -- aggregation buffers (sorted by destination = std::map send order) ------
+  core::FlatMap<SiteId, core::SmallVector<ReqItem, 2>, 2> req_buf_;
+  core::FlatMap<SiteId, core::SmallVector<CounterItem, 2>, 2> cnt_buf_;
+  core::FlatMap<SiteId, core::SmallVector<LassToken, 1>, 1> tok_buf_;
 
   // -- stats -------------------------------------------------------------------
   std::uint64_t loans_used_ = 0;

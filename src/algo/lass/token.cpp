@@ -33,9 +33,9 @@ bool SortedRequestQueue::remove_site(SiteId site) {
   return removed;
 }
 
-void SortedRequestQueue::prune_obsolete(const std::vector<RequestId>& last_cs) {
+void SortedRequestQueue::prune_obsolete(const SiteRequestIds& last_cs) {
   auto it = std::remove_if(items_.begin(), items_.end(), [&](const ReqItem& i) {
-    return i.id <= last_cs[static_cast<std::size_t>(i.sinit)];
+    return i.id <= id_of(last_cs, i.sinit);
   });
   items_.erase(it, items_.end());
 }

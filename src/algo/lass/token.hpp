@@ -1,15 +1,36 @@
 // The per-resource token of the paper's algorithm (Annex A, Figure 8, Token)
 // and the request records stored in its queues.
+//
+// Memory layout (DESIGN.md §13): the paper's token carries two per-site id
+// vectors (last ReqCnt served, last CS satisfied). Stored densely that is
+// 16 bytes x N sites x M resources per site — the ~1.3 MB/site blocker at
+// N = 1024. Both vectors start all-zero and only the handful of sites that
+// ever touched this token get non-zero entries, so they are stored as
+// sparse sorted maps: an absent site reads as 0, exactly the dense initial
+// value (request ids start at 1, so obsolescence tests on absent sites are
+// always false). `wire_size()` still charges the dense encoding — the
+// simulated message-byte accounting must not depend on the in-memory
+// representation.
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
+#include "core/flat_map.hpp"
 #include "core/mark.hpp"
 #include "core/resource_set.hpp"
+#include "core/small_vector.hpp"
 #include "core/types.hpp"
 
 namespace mra::algo::lass {
+
+/// Sparse per-site request-id map; sites never recorded read as id 0,
+/// matching the dense vector's initial state.
+using SiteRequestIds = core::FlatMap<SiteId, RequestId, 2>;
+
+[[nodiscard]] inline RequestId id_of(const SiteRequestIds& ids, SiteId site) {
+  auto it = ids.find(site);
+  return it == ids.end() ? 0 : it->second;
+}
 
 /// The three request message types (§4.2).
 enum class ReqType : std::uint8_t {
@@ -53,10 +74,12 @@ struct ReqItem {
 /// process); insertion replaces an older entry from the same site.
 class SortedRequestQueue {
  public:
+  using Items = core::SmallVector<ReqItem, 1>;
+
   [[nodiscard]] bool empty() const { return items_.empty(); }
   [[nodiscard]] std::size_t size() const { return items_.size(); }
   [[nodiscard]] const ReqItem& head() const { return items_.front(); }
-  [[nodiscard]] const std::vector<ReqItem>& items() const { return items_; }
+  [[nodiscard]] const Items& items() const { return items_; }
 
   /// Inserts keeping `/` order. If an entry from the same site exists:
   /// a newer id replaces it, an older or equal id is ignored.
@@ -71,7 +94,7 @@ class SortedRequestQueue {
 
   /// Drops entries already satisfied according to `last_cs` (id <= last_cs
   /// of their site). Used to prune stale records when a token is received.
-  void prune_obsolete(const std::vector<RequestId>& last_cs);
+  void prune_obsolete(const SiteRequestIds& last_cs);
 
   [[nodiscard]] bool contains_site(SiteId site) const;
 
@@ -84,27 +107,36 @@ class SortedRequestQueue {
   }
 
  private:
-  std::vector<ReqItem> items_;  // sorted by (mark, sinit)
+  Items items_;  // sorted by (mark, sinit)
 };
 
 /// The token associated with one resource (unique system-wide).
 struct LassToken {
   ResourceId r = kNoResource;
-  CounterValue counter = 1;             ///< next value to hand out
-  std::vector<RequestId> last_req_cnt;  ///< per site: last ReqCnt id served
-  std::vector<RequestId> last_cs;       ///< per site: last satisfied CS id
-  SortedRequestQueue wqueue;            ///< pending ReqRes, `/`-ordered
-  SortedRequestQueue wloan;             ///< pending ReqLoan, `/`-ordered
-  SiteId lender = kNoSite;              ///< set while the token is lent
+  int num_sites = 0;             ///< dense extent, kept for wire accounting
+  CounterValue counter = 1;      ///< next value to hand out
+  SiteRequestIds req_cnt_ids;    ///< sparse: last ReqCnt id served per site
+  SiteRequestIds cs_ids;         ///< sparse: last satisfied CS id per site
+  SortedRequestQueue wqueue;     ///< pending ReqRes, `/`-ordered
+  SortedRequestQueue wloan;      ///< pending ReqLoan, `/`-ordered
+  SiteId lender = kNoSite;       ///< set while the token is lent
 
   LassToken() = default;
-  LassToken(ResourceId resource, int num_sites)
-      : r(resource),
-        last_req_cnt(static_cast<std::size_t>(num_sites), 0),
-        last_cs(static_cast<std::size_t>(num_sites), 0) {}
+  LassToken(ResourceId resource, int sites) : r(resource), num_sites(sites) {}
 
+  [[nodiscard]] RequestId last_req_cnt(SiteId site) const {
+    return id_of(req_cnt_ids, site);
+  }
+  [[nodiscard]] RequestId last_cs(SiteId site) const {
+    return id_of(cs_ids, site);
+  }
+  void set_last_req_cnt(SiteId site, RequestId id) { req_cnt_ids[site] = id; }
+  void set_last_cs(SiteId site, RequestId id) { cs_ids[site] = id; }
+
+  /// Wire bytes of the dense encoding (header + two full per-site id
+  /// vectors + both queues) — identical to the pre-sparse layout.
   [[nodiscard]] std::size_t wire_size() const {
-    return 16 + last_req_cnt.size() * 8 + last_cs.size() * 8 +
+    return 16 + static_cast<std::size_t>(num_sites) * 16 +
            wqueue.wire_size() + wloan.wire_size();
   }
 };

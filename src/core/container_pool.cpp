@@ -1,0 +1,39 @@
+#include "core/small_vector.hpp"
+
+#include <new>
+
+namespace mra::core {
+
+#ifdef MRA_CONTAINER_POOL_DISABLED
+
+FreeListPool& container_spill_pool() {
+  thread_local FreeListPool pool;  // present for introspection, unused
+  return pool;
+}
+
+void* container_spill_allocate(std::size_t bytes) {
+  return ::operator new(bytes);
+}
+
+void container_spill_deallocate(void* p, std::size_t /*bytes*/) noexcept {
+  ::operator delete(p);
+}
+
+#else
+
+FreeListPool& container_spill_pool() {
+  thread_local FreeListPool pool;
+  return pool;
+}
+
+void* container_spill_allocate(std::size_t bytes) {
+  return container_spill_pool().allocate(bytes);
+}
+
+void container_spill_deallocate(void* p, std::size_t bytes) noexcept {
+  container_spill_pool().deallocate(p, bytes);
+}
+
+#endif  // MRA_CONTAINER_POOL_DISABLED
+
+}  // namespace mra::core

@@ -28,7 +28,13 @@ SiteId Network::add_node(Node& node) {
 void Network::start() {
   started_ = true;
   const std::size_t n = nodes_.size();
-  last_delivery_.assign(n * n, sim::kTimeZero);
+  if (n <= kDenseFifoMaxSites) {
+    last_delivery_dense_.assign(n * n, sim::kTimeZero);
+    last_delivery_sparse_.clear();
+  } else {
+    last_delivery_dense_.clear();
+    last_delivery_sparse_.assign(n, {});
+  }
   for (Node* node : nodes_) node->on_start();
 }
 
@@ -62,13 +68,12 @@ void Network::deliver(SiteId src, SiteId dst, std::unique_ptr<Message> msg,
   // FIFO per ordered link: never deliver before a previously sent message on
   // the same (src, dst) pair. The mutant skips the clamp (delivery order then
   // follows raw latency), which the FIFO oracle must flag.
-  const std::size_t link =
-      static_cast<std::size_t>(src) * nodes_.size() + static_cast<std::size_t>(dst);
+  sim::SimTime& watermark = fifo_watermark(src, dst);
   sim::SimTime at = sim_.now() + latency;
   if (!check::mutant_enabled(check::Mutant::kNetFifoViolation)) {
-    if (at <= last_delivery_[link]) at = last_delivery_[link] + 1;
+    if (at <= watermark) at = watermark + 1;
   }
-  last_delivery_[link] = at;
+  watermark = at;
 
   if (observer_ != nullptr) {
     // Checking mode: emit kSend now and kDeliver when the message fires,

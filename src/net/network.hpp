@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/flat_map.hpp"
 #include "net/latency.hpp"
 #include "net/message.hpp"
 #include "net/node.hpp"
@@ -92,11 +93,31 @@ class Network {
   void deliver(SiteId src, SiteId dst, std::unique_ptr<Message> msg,
                sim::SimDuration latency);
 
+  /// Per-link FIFO watermark. A dense [src * N + dst] matrix is the fastest
+  /// lookup but is N^2 (8 TB at N = 10^6), so above kDenseFifoMaxSites the
+  /// watermarks switch to one sorted sparse map per source site — each site
+  /// talks to a handful of peers (tree fathers), so lookups stay O(log
+  /// degree). An absent entry reads as SimTime{} == kTimeZero, the dense
+  /// initial value, so the two representations clamp identically
+  /// (DESIGN.md §13).
+  [[nodiscard]] sim::SimTime& fifo_watermark(SiteId src, SiteId dst) {
+    if (!last_delivery_dense_.empty()) {
+      return last_delivery_dense_[static_cast<std::size_t>(src) *
+                                      nodes_.size() +
+                                  static_cast<std::size_t>(dst)];
+    }
+    return last_delivery_sparse_[static_cast<std::size_t>(src)][dst];
+  }
+
+  /// Largest N that keeps the dense watermark matrix (32 MB at 2048).
+  static constexpr std::size_t kDenseFifoMaxSites = 2048;
+
   sim::Simulator& sim_;
   std::unique_ptr<LatencyModel> latency_;
   sim::Rng rng_;
   std::vector<Node*> nodes_;
-  std::vector<sim::SimTime> last_delivery_;  // [src * N + dst], FIFO watermark
+  std::vector<sim::SimTime> last_delivery_dense_;
+  std::vector<core::FlatMap<SiteId, sim::SimTime, 2>> last_delivery_sparse_;
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t in_flight_ = 0;

@@ -1,0 +1,229 @@
+// Tests for the flat containers behind the per-site memory layout
+// (DESIGN.md §13): SmallVector inline/spill mechanics, FlatMap ordering
+// semantics (which LASS flush order depends on), the shared spill pool,
+// and the end-to-end determinism golden proving a LASS trace is
+// byte-identical across the std::map -> FlatMap migration.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algo/factory.hpp"
+#include "core/arena.hpp"
+#include "core/flat_map.hpp"
+#include "core/small_vector.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "workload/driver.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using mra::core::Arena;
+using mra::core::FlatMap;
+using mra::core::FreeListPool;
+using mra::core::SmallVector;
+
+TEST(SmallVector, PushBackPreservesOrderAcrossSpill) {
+  SmallVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.inline_storage());
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_FALSE(v.inline_storage());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(v.front(), 0);
+  EXPECT_EQ(v.back(), 99);
+}
+
+TEST(SmallVector, StaysInlineAtCapacity) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_TRUE(v.inline_storage());  // spill happens on the 5th element
+  v.push_back(4);
+  EXPECT_FALSE(v.inline_storage());
+}
+
+TEST(SmallVector, InsertAndEraseShiftElements) {
+  SmallVector<int, 2> v;
+  v.push_back(1);
+  v.push_back(3);
+  v.insert(v.begin() + 1, 2);  // forces a spill too (capacity 2 -> 3)
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+  EXPECT_EQ(v[2], 3);
+
+  v.erase(v.begin());
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 2);
+  EXPECT_EQ(v[1], 3);
+
+  v.erase(v.begin(), v.end());
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVector, MoveStealsHeapBufferAndMovesInlineElements) {
+  SmallVector<std::string, 2> inline_v;
+  inline_v.push_back("a");
+  SmallVector<std::string, 2> from_inline = std::move(inline_v);
+  ASSERT_EQ(from_inline.size(), 1u);
+  EXPECT_EQ(from_inline[0], "a");
+  EXPECT_TRUE(from_inline.inline_storage());
+
+  SmallVector<std::string, 2> spilled;
+  for (int i = 0; i < 8; ++i) spilled.push_back(std::to_string(i));
+  const std::string* heap = spilled.data();
+  SmallVector<std::string, 2> from_heap = std::move(spilled);
+  EXPECT_EQ(from_heap.data(), heap);  // buffer stolen, not copied
+  ASSERT_EQ(from_heap.size(), 8u);
+  EXPECT_EQ(from_heap[7], "7");
+}
+
+TEST(FlatMap, IterationIsAscendingKeyOrder) {
+  // LASS flushes its aggregation buffers by iterating the per-site map;
+  // replay stays byte-identical only because this order matches std::map.
+  FlatMap<int, std::string, 2> m;
+  m[30] = "c";
+  m[10] = "a";
+  m[20] = "b";
+  std::vector<int> keys;
+  for (const auto& [k, v] : m) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(FlatMap, FindEraseAndDefaultConstruct) {
+  FlatMap<int, int, 2> m;
+  EXPECT_EQ(m[5], 0);  // operator[] default-constructs, std::map semantics
+  m[5] = 42;
+  EXPECT_TRUE(m.contains(5));
+  EXPECT_EQ(m.at(5), 42);
+  EXPECT_EQ(m.find(6), m.end());
+  EXPECT_THROW((void)m.at(6), std::out_of_range);
+
+  auto [it, inserted] = m.try_emplace(6, 7);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(it->second, 7);
+  auto [it2, inserted2] = m.try_emplace(6, 99);
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(it2->second, 7);
+
+  EXPECT_EQ(m.erase(5), 1u);
+  EXPECT_EQ(m.erase(5), 0u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, SpillsToHeapBeyondInlineCapacity) {
+  FlatMap<int, int, 4> m;
+  for (int i = 0; i < 4; ++i) m[i] = i;
+  EXPECT_TRUE(m.inline_storage());
+  m[4] = 4;
+  EXPECT_FALSE(m.inline_storage());
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(m.at(i), i);
+}
+
+TEST(FreeListPool, RecyclesBlocksInLifoOrder) {
+  FreeListPool pool;
+  void* a = pool.allocate(64);
+  void* b = pool.allocate(64);
+  const std::size_t reserved = pool.arena().bytes_allocated();
+  pool.deallocate(a, 64);
+  pool.deallocate(b, 64);
+  EXPECT_EQ(pool.allocate(64), b);  // LIFO: last freed, first reused
+  EXPECT_EQ(pool.allocate(64), a);
+  // Recycling never touched the arena again.
+  EXPECT_EQ(pool.arena().bytes_allocated(), reserved);
+}
+
+TEST(ArenaTest, BumpAllocatesAndTracksBytes) {
+  Arena arena(/*first_chunk_bytes=*/128);
+  void* p = arena.allocate(100);
+  ASSERT_NE(p, nullptr);
+  EXPECT_GE(arena.bytes_allocated(), 100u);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_allocated());
+  // A request larger than the current chunk grows geometrically.
+  void* q = arena.allocate(1000);
+  ASSERT_NE(q, nullptr);
+  EXPECT_GE(arena.bytes_reserved(), 1000u);
+}
+
+#ifndef MRA_CONTAINER_POOL_DISABLED
+TEST(ContainerPool, SmallVectorSpillRecyclesThroughPool) {
+  const std::size_t before = mra::core::container_spill_pool()
+                                 .arena()
+                                 .bytes_allocated();
+  for (int round = 0; round < 8; ++round) {
+    SmallVector<std::uint64_t, 2> v;
+    for (int i = 0; i < 16; ++i) v.push_back(static_cast<std::uint64_t>(i));
+  }
+  const std::size_t after = mra::core::container_spill_pool()
+                                .arena()
+                                .bytes_allocated();
+  // All 8 rounds spill through the same recycled free-list blocks: the
+  // arena grows for the first round only (grow chain 32 -> 64 -> 128 B).
+  EXPECT_LE(after - before, 32u + 64u + 128u);
+}
+#endif  // MRA_CONTAINER_POOL_DISABLED
+
+// ---------------------------------------------------------------------------
+// Determinism golden: the exact event trace of a LASS-with-loan run, pinned
+// before the flat-container migration (std::map / std::vector state) and
+// required to stay byte-identical forever after. If FlatMap iteration
+// order, lazy token materialization, or the sparse FIFO watermark ever
+// diverge from the dense originals, the FNV hash moves and this fails.
+// ---------------------------------------------------------------------------
+
+namespace golden {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace golden
+
+TEST(LassDeterminism, LassTraceByteIdentical) {
+  mra::algo::SystemConfig sys;
+  sys.algorithm = mra::algo::Algorithm::kLassWithLoan;
+  sys.num_sites = 8;
+  sys.num_resources = 16;
+  sys.seed = 7;
+  sys.network_latency = mra::sim::from_ms(0.6);
+  auto system = mra::algo::AllocationSystem::create(sys);
+
+  std::string all;
+  system->trace().enable();
+  system->trace().set_capacity(1 << 20);
+  system->trace().set_sink([&all](const std::string& line) {
+    all += line;
+    all += '\n';
+  });
+  system->start();
+
+  mra::workload::WorkloadConfig wl =
+      mra::workload::high_load(/*phi=*/4, /*M=*/16);
+  mra::workload::WorkloadRunner runner(*system, wl,
+                                       sys.seed ^ 0x9E3779B97F4A7C15ULL);
+  runner.start();
+  system->simulator().run(mra::sim::from_ms(500));
+
+  // Values captured from the pre-refactor build (commit with dense
+  // std::map state); see DESIGN.md §13.
+  EXPECT_EQ(system->trace().lines().size(), 215u);
+  EXPECT_EQ(golden::fnv1a(all), 11022870670007805999ULL);
+  EXPECT_EQ(system->trace().lines().front(),
+            "[2.06171ms] s3 Request_CS {4, 7}");
+  EXPECT_EQ(system->trace().lines().back(),
+            "[498.882ms] s6 waitCS mark=7.000000");
+  EXPECT_EQ(runner.collector().completed(), 45u);
+  EXPECT_EQ(system->network().total_messages(), 502u);
+  EXPECT_EQ(system->network().total_bytes(), 47462u);
+}
+
+}  // namespace

@@ -56,7 +56,9 @@ TEST(SortedRequestQueue, RemoveSiteAndPrune) {
   EXPECT_FALSE(q.remove_site(1));
   EXPECT_EQ(q.size(), 2u);
   // last_cs: site 0 satisfied up to id 3 -> its entry (id 3) is obsolete.
-  std::vector<RequestId> last_cs = {3, 0, 0};
+  // Sparse map: unlisted sites read as 0.
+  SiteRequestIds last_cs;
+  last_cs[0] = 3;
   q.prune_obsolete(last_cs);
   ASSERT_EQ(q.size(), 1u);
   EXPECT_EQ(q.head().sinit, 2);
