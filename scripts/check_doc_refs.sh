@@ -47,6 +47,28 @@ for sec in $cited; do
   fi
 done
 
+# Every rule name referenced by an MRA_NOLINT suppression anywhere in the
+# repo must exist in the linter's rule registry (scripts/mra_lint.py
+# --list-rules) — a renamed rule must not leave dangling suppressions that
+# silently stop suppressing.
+rules=$(python3 scripts/mra_lint.py --list-rules)
+nolint_refs=$(grep -rhoE 'MRA_NOLINT\(([^)]*)\)' \
+                src tests bench examples 2>/dev/null \
+              | sed -E 's/^MRA_NOLINT\(//; s/\)$//' | tr ',' '\n' \
+              | sed -E 's/^ +//; s/ +$//' | sort -u || true)
+for rule in $nolint_refs; do
+  if ! printf '%s\n' "$rules" | grep -qx "$rule"; then
+    # The fixtures deliberately reference a nonexistent rule to prove the
+    # linter rejects it; they are the linter's test inputs, not users of it.
+    if grep -rlE "MRA_NOLINT\([^)]*\b$rule\b" src tests bench examples \
+         | grep -qv '^tests/lint_fixtures/'; then
+      echo "MRA_NOLINT references unknown lint rule: $rule" \
+           "(not in scripts/mra_lint.py --list-rules)"
+      fail=1
+    fi
+  fi
+done
+
 if [ "$fail" -ne 0 ]; then
   echo "doc reference check FAILED"
   exit 1

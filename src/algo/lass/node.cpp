@@ -491,7 +491,7 @@ void LassNode::on_message(SiteId from, const net::Message& msg) {
     if (std::find(visited.begin(), visited.end(), id()) == visited.end()) {
       visited.push_back(id());
     }
-    flush_requests(std::move(visited));
+    flush_requests(visited);
     flush_responses();
     return;
   }
@@ -570,7 +570,7 @@ void LassNode::buffer_counter(SiteId dst, ResourceId r, CounterValue value) {
   cnt_buf_[dst].push_back(CounterItem{r, value});
 }
 
-void LassNode::flush_requests(std::vector<SiteId> visited) {
+void LassNode::flush_requests(const std::vector<SiteId>& visited) {
   // Local processing (dst == self) can buffer further requests; drain until
   // a fixed point. Termination: each pass either sends on the network or
   // shortens a forwarding path, and paths are bounded by |visited| <= N.

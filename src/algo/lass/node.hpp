@@ -113,7 +113,7 @@ class LassNode final : public AllocatorNode {
   // -- buffered sends (aggregation mechanism, §4.2.2) ------------------------
   void buffer_request(SiteId dst, ReqItem item);
   void buffer_counter(SiteId dst, ResourceId r, CounterValue value);
-  void flush_requests(std::vector<SiteId> visited);
+  void flush_requests(const std::vector<SiteId>& visited);
   void flush_responses();
 
   void trace(const std::string& what);

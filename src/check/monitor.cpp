@@ -78,6 +78,7 @@ void Monitor::detach() {
   sim_ = nullptr;
   net_ = nullptr;
   system_ = nullptr;
+  stop_sim_ = nullptr;
 }
 
 void Monitor::record(const Event& event) {
@@ -164,7 +165,13 @@ void Monitor::report(Violation violation) {
   }
   violations_.push_back(std::move(violation));
   if (violations_.size() >= cfg_.max_violations) checking_ = false;
-  if (cfg_.stop_on_first && sim_ != nullptr) sim_->stop();
+  if (cfg_.stop_on_first) {
+    // Prefer the attach()-owned simulator; fall back to the stop-only
+    // binding (mux composition). report() only fires from in-run callbacks,
+    // so whichever pointer is set is still alive here.
+    sim::Simulator* s = sim_ != nullptr ? sim_ : stop_sim_;
+    if (s != nullptr) s->stop();
+  }
 }
 
 void Monitor::finalize(sim::SimTime now, bool quiescent) {

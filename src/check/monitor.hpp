@@ -79,8 +79,11 @@ class Monitor final : public Observer, public ViolationSink {
   /// Mux composition: when this monitor is *not* the registered observer
   /// (an ObserverMux is), report() still needs the simulator to honor
   /// stop_on_first. attach() records it implicitly; muxed monitors call
-  /// this instead. detach() never clears hooks it does not own.
-  void bind_simulator(sim::Simulator& simulator) { sim_ = &simulator; }
+  /// this instead. The binding is stop-only and non-owning: it is used
+  /// while events flow and never dereferenced by detach(), so a simulator
+  /// that dies with the run (scenario::run_scenario owns it) must not be
+  /// touched by a Monitor destroyed later.
+  void bind_simulator(sim::Simulator& simulator) { stop_sim_ = &simulator; }
 
   /// Undoes attach(); called automatically on destruction.
   void detach();
@@ -148,6 +151,10 @@ class Monitor final : public Observer, public ViolationSink {
   sim::Simulator* sim_ = nullptr;
   net::Network* net_ = nullptr;
   algo::AllocationSystem* system_ = nullptr;
+
+  /// Stop-only binding from bind_simulator(). Unlike sim_, detach() never
+  /// dereferences it — the bound simulator may be long gone by then.
+  sim::Simulator* stop_sim_ = nullptr;
 };
 
 }  // namespace mra::check

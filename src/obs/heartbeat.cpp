@@ -29,7 +29,12 @@ Heartbeat::Heartbeat(Options options, std::function<ProgressSnapshot()> poll)
 Heartbeat::~Heartbeat() {
   thread_.request_stop();
   thread_.join();
-  tick(/*done=*/true);
+  try {
+    tick(/*done=*/true);
+  } catch (...) {
+    // The final tick runs the caller's poll callback; progress reporting is
+    // best-effort and must never turn teardown into std::terminate.
+  }
 }
 
 void Heartbeat::run(const std::stop_token& stop) {

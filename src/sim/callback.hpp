@@ -124,4 +124,40 @@ class Callback {
   const Ops* ops_ = nullptr;
 };
 
+/// Non-owning reference to a `bool()` callable — the run-loop predicate
+/// vocabulary type (two words, trivially copyable, no allocation ever).
+/// std::function would heap-allocate larger captures and add a vtable-like
+/// dispatch on a path executed after every event; a function_ref does not.
+/// The referenced callable must outlive the call it is passed to, which
+/// holds even for lambda temporaries at a call site (they live until the
+/// end of the full expression). Do not store a PredicateRef.
+class PredicateRef {
+ public:
+  /// Empty ref: evaluates as false-y via operator bool, never invoked.
+  PredicateRef() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, PredicateRef> &&
+                std::is_invocable_r_v<bool, std::decay_t<F>&>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): call-site transparent.
+  PredicateRef(F&& f)
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* obj) -> bool {
+          return static_cast<bool>(
+              (*static_cast<std::remove_reference_t<F>*>(obj))());
+        }) {}
+
+  [[nodiscard]] explicit operator bool() const { return call_ != nullptr; }
+
+  bool operator()() const {
+    assert(call_ != nullptr && "invoking an empty PredicateRef");
+    return call_(obj_);
+  }
+
+ private:
+  void* obj_ = nullptr;
+  bool (*call_)(void*) = nullptr;
+};
+
 }  // namespace mra::sim

@@ -8,18 +8,15 @@
 namespace mra::sim {
 
 std::uint64_t Simulator::run(SimTime until) {
-  return hook_ == nullptr ? run_loop(until, nullptr)
-                          : run_loop_commuting(until, nullptr);
+  return hook_ == nullptr ? run_loop(until, {}) : run_loop_commuting(until, {});
 }
 
-std::uint64_t Simulator::run_until(const std::function<bool()>& pred,
-                                   SimTime until) {
-  return hook_ == nullptr ? run_loop(until, &pred)
-                          : run_loop_commuting(until, &pred);
+std::uint64_t Simulator::run_until(PredicateRef pred, SimTime until) {
+  return hook_ == nullptr ? run_loop(until, pred)
+                          : run_loop_commuting(until, pred);
 }
 
-std::uint64_t Simulator::run_loop(SimTime until,
-                                  const std::function<bool()>* pred) {
+std::uint64_t Simulator::run_loop(SimTime until, PredicateRef pred) {
   stop_requested_ = false;
   std::uint64_t fired = 0;
   bool done = false;
@@ -42,7 +39,7 @@ std::uint64_t Simulator::run_loop(SimTime until,
       if (event_budget_ != 0 && fired > event_budget_) {
         throw EventBudgetExceeded(event_budget_);
       }
-      if (stop_requested_ || (pred != nullptr && (*pred)())) {
+      if (stop_requested_ || (pred && pred())) {
         done = true;
         break;
       }
@@ -108,8 +105,7 @@ void Simulator::release_deferred(std::uint32_t slot) {
   deferred_free_ = slot;
 }
 
-std::uint64_t Simulator::run_loop_commuting(
-    SimTime until, const std::function<bool()>* pred) {
+std::uint64_t Simulator::run_loop_commuting(SimTime until, PredicateRef pred) {
   stop_requested_ = false;
   std::uint64_t fired = 0;
   bool done = false;
@@ -145,7 +141,7 @@ std::uint64_t Simulator::run_loop_commuting(
         if (event_budget_ != 0 && fired > event_budget_) {
           throw EventBudgetExceeded(event_budget_);
         }
-        if (stop_requested_ || (pred != nullptr && (*pred)())) {
+        if (stop_requested_ || (pred && pred())) {
           done = true;
           // Re-queue the unexecuted tail of the round (in the chosen order)
           // so a later run() still sees those events, as the plain loop

@@ -10,7 +10,6 @@
 
 #include <cassert>
 #include <cstdint>
-#include <functional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -107,9 +106,11 @@ class Simulator {
   std::uint64_t run(SimTime until = kTimeInfinity);
 
   /// Runs until the queue drains, `until` is reached, or `pred()` becomes
-  /// true (checked after each event).
-  std::uint64_t run_until(const std::function<bool()>& pred,
-                          SimTime until = kTimeInfinity);
+  /// true (checked after each event). The predicate is taken by non-owning
+  /// reference (sim::PredicateRef) — it is evaluated once per event, and a
+  /// type-erased std::function there would put an allocation-capable
+  /// dispatch on the engine's hottest path.
+  std::uint64_t run_until(PredicateRef pred, SimTime until = kTimeInfinity);
 
   /// Requests an orderly stop from inside an event callback.
   void stop() { stop_requested_ = true; }
@@ -163,9 +164,8 @@ class Simulator {
     bool live = false;
   };
 
-  std::uint64_t run_loop(SimTime until, const std::function<bool()>* pred);
-  std::uint64_t run_loop_commuting(SimTime until,
-                                   const std::function<bool()>* pred);
+  std::uint64_t run_loop(SimTime until, PredicateRef pred);
+  std::uint64_t run_loop_commuting(SimTime until, PredicateRef pred);
   EventId schedule_deferred(SimTime at, int tag, EventQueue::Callback cb);
   bool cancel_deferred(EventId id);
   void release_deferred(std::uint32_t slot);

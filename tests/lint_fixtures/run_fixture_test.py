@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Mutant tests for scripts/mra_lint.py: every fixture file under src/ must
+fire exactly the rules its `// LINT-EXPECT:` header declares (multiset
+equality, so a rule expected twice must fire twice), a `LINT-EXPECT: clean`
+file must fire nothing, and the linter's exit code must agree. The clean
+file's suppression must additionally be recorded as used — proving the
+NOLINT pipeline works end to end, not just that nothing matched.
+
+Run directly or via ctest (registered as lint_fixtures in CMakeLists.txt).
+"""
+
+import collections
+import json
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+LINTER = REPO / "scripts" / "mra_lint.py"
+FIXTURE_SRC = HERE / "src"
+
+EXPECT_RE = re.compile(r"//\s*LINT-EXPECT:\s*([\w-]+)")
+
+
+def expected_rules(path):
+    expects = EXPECT_RE.findall(path.read_text(encoding="utf-8"))
+    if not expects:
+        raise SystemExit(f"{path}: fixture has no LINT-EXPECT header")
+    if expects == ["clean"]:
+        return collections.Counter()
+    if "clean" in expects:
+        raise SystemExit(f"{path}: 'clean' cannot be mixed with rule names")
+    return collections.Counter(expects)
+
+
+def main():
+    fixtures = sorted(FIXTURE_SRC.rglob("*.cpp"))
+    if not fixtures:
+        raise SystemExit(f"no fixtures found under {FIXTURE_SRC}")
+
+    failures = []
+    for fixture in fixtures:
+        expected = expected_rules(fixture)
+        with tempfile.NamedTemporaryFile(suffix=".json") as tmp:
+            proc = subprocess.run(
+                [sys.executable, str(LINTER), str(fixture),
+                 "--src-root", str(FIXTURE_SRC), "--json", tmp.name,
+                 "--quiet"],
+                capture_output=True, text=True, check=False)
+            report = json.load(open(tmp.name, encoding="utf-8"))
+
+        fired = collections.Counter(v["rule"] for v in report["violations"])
+        name = fixture.relative_to(FIXTURE_SRC)
+        if fired != expected:
+            failures.append(
+                f"{name}: expected {dict(expected) or 'clean'}, "
+                f"linter fired {dict(fired) or 'nothing'}")
+        want_exit = 1 if expected else 0
+        if proc.returncode != want_exit:
+            failures.append(f"{name}: expected exit {want_exit}, "
+                            f"got {proc.returncode}\n{proc.stdout}")
+        if not expected:
+            # The clean fixture carries one valid suppression; it must be
+            # parsed, attributed, and marked used.
+            sup = report["suppressions"]
+            if len(sup) != 1 or not sup[0]["used"] or not sup[0]["reason"]:
+                failures.append(f"{name}: expected exactly one used "
+                                f"suppression with a reason, got {sup}")
+        print(f"ok {name}: {dict(fired) or 'clean'} "
+              f"[{report['frontend']} frontend]")
+
+    # The registry the fixtures assert against must match --list-rules (the
+    # same list check_doc_refs.sh trusts for repo-wide NOLINT validation).
+    listed = subprocess.run(
+        [sys.executable, str(LINTER), "--list-rules"],
+        capture_output=True, text=True, check=True).stdout.split()
+    asserted = set().union(*(expected_rules(f) for f in fixtures))
+    unknown = asserted - set(listed)
+    if unknown:
+        failures.append(f"fixtures assert unregistered rules: {unknown}")
+    uncovered = set(listed) - asserted
+    if uncovered:
+        failures.append(
+            f"registry rules with no violating fixture: {uncovered} — "
+            "add a fixture before shipping a rule")
+
+    if failures:
+        print("\nlint fixture test FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"lint fixture test OK: {len(fixtures)} fixtures, "
+          f"{len(listed)} rules all covered")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

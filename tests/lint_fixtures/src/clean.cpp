@@ -1,0 +1,29 @@
+// Lint fixture: a clean file. Exercises the idioms the rules push toward,
+// plus banned spellings in comments/strings (must not fire) and one
+// correctly-suppressed violation (rule name + non-empty reason).
+// Never compiled — input for scripts/mra_lint.py via run_fixture_test.py.
+// LINT-EXPECT: clean
+#include <chrono>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+// std::unordered_map and steady_clock mentioned in a comment: no finding.
+struct Ordered {
+  std::map<int, double> rate_by_site;  // deterministic iteration order
+};
+
+const char* doc() {
+  return "call rand() or mt19937 here and the linter would object, but "
+         "string literals are not code";
+}
+
+long suppressed_clock_read() {
+  // The one legitimate shape of an exception: named rule, stated reason.
+  // MRA_NOLINT(wall-clock): fixture demonstrating a valid suppression
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

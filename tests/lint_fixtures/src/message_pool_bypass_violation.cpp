@@ -1,0 +1,29 @@
+// Lint fixture: net::Message storage must go through the class operator new
+// (thread-local pool). ::new and make_shared/allocate_shared bypass it.
+// Never compiled — input for scripts/mra_lint.py via run_fixture_test.py.
+// LINT-EXPECT: message-pool-bypass
+// LINT-EXPECT: message-pool-bypass
+// (two findings: ::new and make_shared; make_unique below stays clean)
+#include <memory>
+
+#include "net/message.hpp"
+
+namespace fixture {
+
+struct TokenMsg : mra::net::Message {
+  [[nodiscard]] std::string_view kind() const override { return "Token"; }
+};
+
+mra::net::Message* leak_one() {
+  return ::new TokenMsg();  // first violation: global new skips the pool
+}
+
+std::shared_ptr<TokenMsg> share_one() {
+  return std::make_shared<TokenMsg>();  // second: allocator-backed storage
+}
+
+std::unique_ptr<TokenMsg> pooled_ok() {
+  return std::make_unique<TokenMsg>();  // class operator new: fine
+}
+
+}  // namespace fixture

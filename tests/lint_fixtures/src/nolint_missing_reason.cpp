@@ -1,0 +1,16 @@
+// Lint fixture: a reason-less MRA_NOLINT is itself an error — suppressions
+// are design decisions and must say why. The malformed suppression does not
+// suppress, so the underlying wall-clock violation fires too.
+// Never compiled — input for scripts/mra_lint.py via run_fixture_test.py.
+// LINT-EXPECT: bad-nolint
+// LINT-EXPECT: wall-clock
+#include <chrono>
+
+namespace fixture {
+
+long bad_suppression() {
+  // MRA_NOLINT(wall-clock)
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

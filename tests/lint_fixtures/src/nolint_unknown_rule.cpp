@@ -1,0 +1,15 @@
+// Lint fixture: MRA_NOLINT naming a rule that is not in the registry is an
+// error (and the unsuppressed wall-clock violation still fires).
+// Never compiled — input for scripts/mra_lint.py via run_fixture_test.py.
+// LINT-EXPECT: bad-nolint
+// LINT-EXPECT: wall-clock
+#include <chrono>
+
+namespace fixture {
+
+long typo_suppression() {
+  // MRA_NOLINT(wallclock-usage): rule name does not exist in the registry
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

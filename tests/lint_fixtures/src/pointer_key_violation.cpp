@@ -1,0 +1,31 @@
+// Lint fixture: pointer-keyed ordering/hashing makes output depend on the
+// allocator's address layout.
+// Never compiled — input for scripts/mra_lint.py via run_fixture_test.py.
+// LINT-EXPECT: pointer-key
+// LINT-EXPECT: pointer-key
+// LINT-EXPECT: pointer-key
+#include <map>
+#include <set>
+
+namespace fixture {
+
+struct Node {
+  int id;
+};
+
+struct Registry {
+  std::map<Node*, int> rank_by_node;  // first violation
+  std::set<const Node*> visited;      // second violation (multi-line arg ok:)
+  std::map<Node*,
+           double>
+      weight_by_node;  // third violation
+  std::map<int, Node*> node_by_rank;  // pointer VALUE, not key: must not fire
+};
+
+bool compare_ids(const Node* a, const Node* b) {
+  return a->id < b->id;  // comparing through pointers is fine
+}
+
+bool less_than(int a, int b) { return a < b; }  // comparison, not a template
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Lint fixture: randomness sources outside sim/random.* — everything must
+// consume seeded splitmix64/xoshiro substreams instead.
+// Never compiled — input for scripts/mra_lint.py via run_fixture_test.py.
+// LINT-EXPECT: raw-random
+// LINT-EXPECT: raw-random
+// LINT-EXPECT: raw-random
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int roll_die() {
+  std::random_device rd;                         // first violation
+  std::mt19937 gen(rd());                        // second violation
+  return static_cast<int>(gen() % 6U) + 1;
+}
+
+int libc_roll() { return rand() % 6; }  // third violation
+
+}  // namespace fixture

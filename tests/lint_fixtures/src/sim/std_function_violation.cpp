@@ -1,0 +1,14 @@
+// Lint fixture: std::function inside src/sim/ — engine callables must be
+// sim::Callback / sim::PredicateRef (move-only, small-buffer, no dispatch
+// through an allocation-capable wrapper on the per-event path).
+// Never compiled — input for scripts/mra_lint.py via run_fixture_test.py.
+// LINT-EXPECT: sim-std-function
+#include <functional>
+
+namespace fixture::sim {
+
+struct Timer {
+  std::function<void()> on_fire;  // violation: sim/ must use sim::Callback
+};
+
+}  // namespace fixture::sim

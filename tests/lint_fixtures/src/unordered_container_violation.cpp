@@ -1,0 +1,20 @@
+// Lint fixture: std::unordered_* containers are banned everywhere in src/
+// (iteration order depends on the hash seed and standard-library version).
+// Never compiled — input for scripts/mra_lint.py via run_fixture_test.py.
+// LINT-EXPECT: unordered-container
+// LINT-EXPECT: unordered-container
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct SiteStats {
+  std::unordered_map<int, double> per_site_rate;  // first violation
+};
+
+int count_unique(const std::unordered_set<std::string>& names) {  // second
+  return static_cast<int>(names.size());
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Lint fixture: wall-clock sources outside the allowlisted boundary.
+// Never compiled — input for scripts/mra_lint.py via run_fixture_test.py.
+// LINT-EXPECT: wall-clock
+// LINT-EXPECT: wall-clock
+// LINT-EXPECT: wall-clock
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+long sample_latency_ns() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return t0.time_since_epoch().count();
+}
+
+long stamp_unix_seconds() { return static_cast<long>(std::time(nullptr)); }
+
+double stamp_wall() {
+  // system_clock in this comment must NOT fire; the call below must.
+  return static_cast<double>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+}
+
+const char* not_a_violation() {
+  return "steady_clock in a string literal must not fire either";
+}
+
+}  // namespace fixture
