@@ -1,0 +1,180 @@
+// Fabric overhead bench: what the distributed sweep fabric (DESIGN.md §15)
+// costs over calling experiment::run_sweep in-process. One `local` row runs
+// the reference merge path; the `fabric_wW` rows run the same grid through a
+// real coordinator plus W worker threads over a file-queue spool, including
+// every fabric cost — claim renames, payload serialization, result files,
+// checkpointing, the final merge — and assert the merged bytes equal the
+// local row's before reporting a number.
+//
+// The `jobs` count is deterministic (bench_compare.py gates it strictly);
+// jobs_per_sec is the gated rate (advisory across machines, like every
+// rate); wall_ms and coordinator_overhead_pct are informational.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bench_util.hpp"
+#include "fabric/coordinator.hpp"
+#include "fabric/grid.hpp"
+#include "fabric/merge.hpp"
+#include "fabric/worker.hpp"
+
+namespace {
+
+using namespace mra;
+namespace fs = std::filesystem;
+
+/// One row of BENCH_fabric.json.
+struct FabricResult {
+  std::string label;
+  std::uint64_t jobs = 0;  ///< deterministic (strict under --strict-counts)
+  double wall_ms = 0.0;
+  double jobs_per_sec = 0.0;
+  double coordinator_overhead_pct = 0.0;  ///< vs the local row; informational
+};
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+fabric::GridSpec bench_grid(const bench::BenchOptions& options) {
+  fabric::GridSpec grid;
+  grid.kind = fabric::GridKind::kSweep;
+  grid.scenarios = {"paper-phi4", "zipf-hot", "bursty", "hotspot-k4"};
+  grid.algorithms = {"lass", "lass-loan"};
+  grid.quick = options.quick;
+  grid.seed_set = true;
+  grid.seed = options.seed;
+  return grid;
+}
+
+std::string run_local_timed(const fabric::GridSpec& grid, double& wall_ms) {
+  const auto start = std::chrono::steady_clock::now();
+  std::ostringstream os;
+  if (fabric::run_local(grid, /*threads=*/1, os, /*progress_path=*/"") != 0) {
+    throw std::runtime_error("fabric_sweep: local reference run failed");
+  }
+  wall_ms = elapsed_ms(start);
+  return os.str();
+}
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Coordinator + `workers` worker threads over a fresh spool; returns the
+/// wall time and checks the merged bytes against `reference`.
+double run_fabric_timed(const fabric::GridSpec& grid, int workers,
+                        const std::string& reference) {
+  const std::string spool =
+      (fs::temp_directory_path() /
+       ("mra_fabric_bench_w" + std::to_string(workers)))
+          .string();
+  fs::remove_all(spool);
+  fabric::CoordinatorOptions copts;
+  copts.spool = spool;
+  copts.chunk = 1;
+  copts.poll_interval_sec = 0.005;
+  copts.out_path = spool + "/merged.json";
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  std::atomic<int> coordinator_code{-1};
+  threads.emplace_back(
+      [&] { coordinator_code = fabric::run_coordinator(grid, copts); });
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      fabric::WorkerOptions wopts;
+      wopts.spool = spool;
+      wopts.name = "bench-w" + std::to_string(w);
+      wopts.poll_interval_sec = 0.005;
+      (void)fabric::run_worker(wopts);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_ms = elapsed_ms(start);
+
+  if (coordinator_code.load() != 0) {
+    throw std::runtime_error("fabric_sweep: coordinator failed");
+  }
+  if (read_all(copts.out_path) != reference) {
+    throw std::runtime_error(
+        "fabric_sweep: fabric merge differs from the in-process run — the "
+        "byte-identity invariant is broken");
+  }
+  fs::remove_all(spool);
+  return wall_ms;
+}
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+void write_json(const std::string& path,
+                const std::vector<FabricResult>& results) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open for writing: " + path);
+  f << "{\"tool\":\"fabric_sweep\",\"results\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const FabricResult& r = results[i];
+    if (i != 0) f << ",";
+    f << "\n  {\"label\":\"" << r.label << "\""
+      << ",\"jobs\":" << r.jobs << ",\"wall_ms\":" << num(r.wall_ms)
+      << ",\"jobs_per_sec\":" << num(r.jobs_per_sec)
+      << ",\"coordinator_overhead_pct\":" << num(r.coordinator_overhead_pct)
+      << "}";
+  }
+  f << "\n]}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::parse_options(argc, argv, /*supports_json=*/true);
+  const fabric::GridSpec grid = bench_grid(options);
+  const auto jobs = static_cast<std::uint64_t>(grid.job_count());
+
+  std::vector<FabricResult> results;
+  double local_ms = 0.0;
+  const std::string reference = run_local_timed(grid, local_ms);
+  results.push_back({"local", jobs, local_ms,
+                     1000.0 * static_cast<double>(jobs) / local_ms, 0.0});
+
+  for (const int workers : {1, 2, 4}) {
+    const double wall_ms = run_fabric_timed(grid, workers, reference);
+    results.push_back({"fabric_w" + std::to_string(workers), jobs, wall_ms,
+                       1000.0 * static_cast<double>(jobs) / wall_ms,
+                       100.0 * (wall_ms - local_ms) / local_ms});
+  }
+
+  std::printf("%-12s %8s %10s %14s %16s\n", "config", "jobs", "wall_ms",
+              "jobs_per_sec", "overhead_vs_local");
+  for (const FabricResult& r : results) {
+    std::printf("%-12s %8llu %10.1f %14.1f %15.1f%%\n", r.label.c_str(),
+                static_cast<unsigned long long>(r.jobs), r.wall_ms,
+                r.jobs_per_sec, r.coordinator_overhead_pct);
+  }
+  std::printf("(every fabric row cmp'd byte-identical to the local row)\n");
+
+  if (!options.json_path.empty()) {
+    write_json(options.json_path, results);
+    std::printf("(json: %s)\n", options.json_path.c_str());
+  }
+  return 0;
+}

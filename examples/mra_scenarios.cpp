@@ -386,6 +386,7 @@ int run_sweep_mode(const Options& o) {
     }
   }
   std::atomic<std::uint64_t> jobs_done{0};
+  std::atomic<std::uint64_t> jobs_failed{0};
   std::vector<experiment::ExperimentResult> results;
   {
     std::unique_ptr<obs::Heartbeat> heartbeat;
@@ -394,14 +395,16 @@ int run_sweep_mode(const Options& o) {
       hopts.phase = "scenario-sweep";
       hopts.progress_path = o.progress_path;
       const std::uint64_t total = jobs.size();
-      heartbeat = std::make_unique<obs::Heartbeat>(hopts, [&jobs_done, total] {
-        obs::ProgressSnapshot snap;
-        snap.jobs_done = jobs_done.load(std::memory_order_relaxed);
-        snap.jobs_total = total;
-        return snap;
-      });
+      heartbeat = std::make_unique<obs::Heartbeat>(
+          hopts, [&jobs_done, &jobs_failed, total] {
+            obs::ProgressSnapshot snap;
+            snap.jobs_done = jobs_done.load(std::memory_order_relaxed);
+            snap.jobs_failed = jobs_failed.load(std::memory_order_relaxed);
+            snap.jobs_total = total;
+            return snap;
+          });
     }
-    results = experiment::run_sweep(jobs, o.threads, &jobs_done);
+    results = experiment::run_sweep(jobs, o.threads, &jobs_done, &jobs_failed);
   }
 
   Table table({"scenario", "algorithm", "use-rate %", "mean wait (ms)",
@@ -449,6 +452,7 @@ int run_replicated_mode(const Options& o) {
       labels.push_back(spec.name);
     }
   }
+  std::atomic<std::uint64_t> reps_failed{0};
   std::vector<experiment::ReplicatedResult> results;
   {
     std::unique_ptr<obs::Heartbeat> heartbeat;
@@ -457,14 +461,17 @@ int run_replicated_mode(const Options& o) {
       hopts.phase = "replicated-sweep";
       hopts.progress_path = o.progress_path;
       const std::uint64_t total = jobs.size() * o.reps;
-      heartbeat = std::make_unique<obs::Heartbeat>(hopts, [reps_done, total] {
-        obs::ProgressSnapshot snap;
-        snap.jobs_done = reps_done->load(std::memory_order_relaxed);
-        snap.jobs_total = total;
-        return snap;
-      });
+      heartbeat = std::make_unique<obs::Heartbeat>(
+          hopts, [reps_done, &reps_failed, total] {
+            obs::ProgressSnapshot snap;
+            snap.jobs_done = reps_done->load(std::memory_order_relaxed);
+            snap.jobs_failed = reps_failed.load(std::memory_order_relaxed);
+            snap.jobs_total = total;
+            return snap;
+          });
     }
-    results = experiment::run_replicated_jobs(jobs, o.threads);
+    results =
+        experiment::run_replicated_jobs(jobs, o.threads, nullptr, &reps_failed);
   }
 
   Table table({"scenario", "algorithm", "use-rate %", "mean wait (ms)", "p50",

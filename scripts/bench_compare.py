@@ -68,6 +68,7 @@ COUNT_FIELDS = {
     "loans_failed",
     "replications",
     "samples",
+    "jobs",
 }
 
 

@@ -9,7 +9,10 @@ at the source-code level, before they can leak into an output path:
 
   wall-clock           simulated time only — no steady_clock/system_clock/
                        time()/gettimeofday outside the allowlisted wall-clock
-                       boundary (obs/heartbeat.*, metrics/memory.*)
+                       boundary (obs/heartbeat.*, metrics/memory.*, and the
+                       fabric transport backends src/fabric/transport*, whose
+                       lease timeouts and poll intervals are inherently
+                       wall-clock; see DESIGN.md §15)
   unordered-container  std::unordered_* iteration order depends on the hash
                        seed and libstdc++ version; use std::map / FlatMap
   raw-random           all randomness flows from seeded splitmix64/xoshiro
@@ -73,7 +76,11 @@ RULES = [
         name="wall-clock",
         summary="wall-clock source outside the allowlisted boundary "
         "(simulated time only; see DESIGN.md §14)",
-        allowlist=("obs/heartbeat.", "metrics/memory."),
+        # fabric/transport*: lease staleness and poll intervals are real
+        # elapsed time by design — the boundary stops there; the fabric's
+        # coordinator/worker/merge layers above stay wall-clock-free
+        # (DESIGN.md §15).
+        allowlist=("obs/heartbeat.", "metrics/memory.", "fabric/transport"),
     ),
     Rule(
         name="unordered-container",

@@ -62,7 +62,8 @@ std::vector<ReplicatedResult> run_replicated_jobs(
 
 std::vector<ReplicatedResult> run_replicated_jobs(
     const std::vector<ReplicatedJob>& jobs, unsigned threads,
-    std::atomic<std::uint64_t>* reps_done) {
+    std::atomic<std::uint64_t>* reps_done,
+    std::atomic<std::uint64_t>* reps_failed) {
   std::vector<SweepJob> flat;
   for (const ReplicatedJob& job : jobs) {
     if (job.replications == 0) {
@@ -75,9 +76,9 @@ std::vector<ReplicatedResult> run_replicated_jobs(
     }
   }
   // Each flattened sweep job is exactly one replication, so the pool's
-  // jobs_done counter is the replication counter.
+  // jobs_done/jobs_failed counters are the replication counters.
   const std::vector<ExperimentResult> results =
-      run_sweep(flat, threads, reps_done);
+      run_sweep(flat, threads, reps_done, reps_failed);
 
   std::vector<ReplicatedResult> merged;
   merged.reserve(jobs.size());
@@ -97,7 +98,8 @@ std::vector<ReplicatedResult> run_replicated_sweep(
 
 std::vector<ReplicatedResult> run_replicated_sweep(
     const std::vector<ReplicatedConfig>& configs, unsigned threads,
-    std::atomic<std::uint64_t>* reps_done) {
+    std::atomic<std::uint64_t>* reps_done,
+    std::atomic<std::uint64_t>* reps_failed) {
   std::vector<ReplicatedJob> jobs;
   jobs.reserve(configs.size());
   for (const ReplicatedConfig& cfg : configs) {
@@ -111,7 +113,7 @@ std::vector<ReplicatedResult> run_replicated_sweep(
     };
     jobs.push_back(std::move(job));
   }
-  return run_replicated_jobs(jobs, threads, reps_done);
+  return run_replicated_jobs(jobs, threads, reps_done, reps_failed);
 }
 
 ReplicatedResult run_replicated(const ReplicatedConfig& config,

@@ -90,10 +90,13 @@ struct ReplicatedResult {
 
 /// Same, bumping `reps_done` (relaxed) once per finished replication — the
 /// unit an obs::Heartbeat should report, since each replication is one
-/// simulation. Null behaves exactly like the plain overload.
+/// simulation — and `reps_failed` once per throwing replication (heartbeats
+/// surface failures live; the SweepError still only fires after the pool
+/// drains). Null pointers behave exactly like the plain overload.
 [[nodiscard]] std::vector<ReplicatedResult> run_replicated_sweep(
     const std::vector<ReplicatedConfig>& configs, unsigned threads,
-    std::atomic<std::uint64_t>* reps_done);
+    std::atomic<std::uint64_t>* reps_done,
+    std::atomic<std::uint64_t>* reps_failed = nullptr);
 
 /// Job-based variant for work that is not a plain ExperimentConfig (the
 /// scenario CLI replicates ScenarioSpec × Algorithm runs this way): `make`
@@ -111,6 +114,7 @@ struct ReplicatedJob {
 /// Job-based variant with live progress, see the config overload.
 [[nodiscard]] std::vector<ReplicatedResult> run_replicated_jobs(
     const std::vector<ReplicatedJob>& jobs, unsigned threads,
-    std::atomic<std::uint64_t>* reps_done);
+    std::atomic<std::uint64_t>* reps_done,
+    std::atomic<std::uint64_t>* reps_failed = nullptr);
 
 }  // namespace mra::experiment

@@ -37,7 +37,8 @@ std::vector<ExperimentResult> run_sweep(const std::vector<SweepJob>& jobs,
 
 std::vector<ExperimentResult> run_sweep(
     const std::vector<SweepJob>& jobs, unsigned threads,
-    std::atomic<std::uint64_t>* jobs_done) {
+    std::atomic<std::uint64_t>* jobs_done,
+    std::atomic<std::uint64_t>* jobs_failed) {
   std::vector<ExperimentResult> results(jobs.size());
   if (jobs.empty()) return results;
 
@@ -61,6 +62,9 @@ std::vector<ExperimentResult> run_sweep(
       try {
         results[i] = jobs[i]();
       } catch (...) {
+        if (jobs_failed != nullptr) {
+          jobs_failed->fetch_add(1, std::memory_order_relaxed);
+        }
         std::scoped_lock lock(error_mutex);
         ++failed;
         if (i < error_index) {
@@ -100,13 +104,14 @@ std::vector<ExperimentResult> run_sweep(
 
 std::vector<ExperimentResult> run_sweep(
     const std::vector<ExperimentConfig>& configs, unsigned threads,
-    std::atomic<std::uint64_t>* jobs_done) {
+    std::atomic<std::uint64_t>* jobs_done,
+    std::atomic<std::uint64_t>* jobs_failed) {
   std::vector<SweepJob> jobs;
   jobs.reserve(configs.size());
   for (const auto& cfg : configs) {
     jobs.emplace_back([&cfg]() { return run_experiment(cfg); });
   }
-  return run_sweep(jobs, threads, jobs_done);
+  return run_sweep(jobs, threads, jobs_done, jobs_failed);
 }
 
 }  // namespace mra::experiment

@@ -54,10 +54,14 @@ class SweepError : public std::runtime_error {
 
 /// Same, bumping `jobs_done` (relaxed) after each finished job — including
 /// failed ones — so an obs::Heartbeat polling it reports live progress.
-/// Null behaves exactly like the plain overload.
+/// `jobs_failed` (when non-null) is bumped once per throwing job, so the
+/// heartbeat can surface failures while the pool keeps draining (the
+/// SweepError only fires after the last job). Null pointers behave exactly
+/// like the plain overload.
 [[nodiscard]] std::vector<ExperimentResult> run_sweep(
     const std::vector<SweepJob>& jobs, unsigned threads,
-    std::atomic<std::uint64_t>* jobs_done);
+    std::atomic<std::uint64_t>* jobs_done,
+    std::atomic<std::uint64_t>* jobs_failed = nullptr);
 
 /// Convenience wrapper: one run_experiment job per config.
 [[nodiscard]] std::vector<ExperimentResult> run_sweep(
@@ -66,6 +70,7 @@ class SweepError : public std::runtime_error {
 /// Config wrapper with live progress, see the SweepJob overload.
 [[nodiscard]] std::vector<ExperimentResult> run_sweep(
     const std::vector<ExperimentConfig>& configs, unsigned threads,
-    std::atomic<std::uint64_t>* jobs_done);
+    std::atomic<std::uint64_t>* jobs_done,
+    std::atomic<std::uint64_t>* jobs_failed = nullptr);
 
 }  // namespace mra::experiment

@@ -1,0 +1,175 @@
+#include "fabric/coordinator.hpp"
+
+#include <atomic>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "fabric/merge.hpp"
+#include "fabric/result.hpp"
+#include "fabric/spool.hpp"
+#include "fabric/transport.hpp"
+#include "obs/heartbeat.hpp"
+
+namespace mra::fabric {
+
+namespace {
+
+struct Board {
+  std::vector<Lease> leases;
+  std::vector<bool> done;
+  std::vector<std::string> payloads;  ///< by job index
+  std::size_t leases_done = 0;
+
+  /// Files a completed lease's payloads; false if already done / invalid.
+  bool record(const LeaseResult& result) {
+    if (result.lease.id >= leases.size()) return false;
+    const Lease& expected = leases[result.lease.id];
+    if (done[result.lease.id]) return false;
+    if (result.lease.first != expected.first ||
+        result.lease.count != expected.count ||
+        result.payloads.size() != expected.count) {
+      return false;
+    }
+    for (std::uint64_t j = 0; j < expected.count; ++j) {
+      payloads[expected.first + j] = result.payloads[j];
+    }
+    done[result.lease.id] = true;
+    leases_done += 1;
+    return true;
+  }
+};
+
+std::uint64_t count_failed(const std::vector<std::string>& payloads) {
+  std::uint64_t failed = 0;
+  for (const std::string& p : payloads) {
+    if (parse_error(p)) failed += 1;
+  }
+  return failed;
+}
+
+}  // namespace
+
+int run_coordinator(const GridSpec& grid, const CoordinatorOptions& opts) {
+  grid.validate();
+  if (opts.spool.empty()) {
+    std::cerr << "fabric: the coordinator needs --spool (checkpoint store)\n";
+    return 2;
+  }
+
+  Manifest manifest;
+  manifest.grid = grid;
+  manifest.chunk = opts.chunk;
+  manifest.jobs = grid.job_count();
+  const std::string manifest_text = manifest.serialize();
+
+  const SpoolPaths paths{opts.spool};
+  ensure_spool_dirs(paths);
+  const std::optional<std::string> existing = read_file(paths.manifest());
+  if (existing && *existing != manifest_text) {
+    std::cerr << "fabric: spool '" << opts.spool
+              << "' holds a different grid; use a fresh spool\n";
+    return 2;
+  }
+  if (!existing) {
+    // Both backends keep the manifest in the spool: it is the checkpoint
+    // store's identity, and the file backend's workers read it from here.
+    write_file_atomic(paths.manifest(), manifest_text, "coordinator");
+  }
+  const std::vector<std::uint64_t> checkpointed =
+      load_checkpoint(paths, opts.chunk);
+  if (!checkpointed.empty() && !opts.resume) {
+    std::cerr << "fabric: spool '" << opts.spool
+              << "' has a checkpoint; pass --resume to continue it or use a "
+                 "fresh spool\n";
+    return 2;
+  }
+
+  Board board;
+  board.leases = partition_leases(manifest.jobs, opts.chunk);
+  board.done.assign(board.leases.size(), false);
+  board.payloads.assign(manifest.jobs, std::string());
+
+  std::atomic<std::uint64_t> jobs_done{0};
+  std::atomic<std::uint64_t> jobs_failed{0};
+  for (const std::uint64_t id : checkpointed) {
+    if (id >= board.leases.size() || board.done[id]) continue;
+    // Trust the checkpoint only as far as the result file behind it: a
+    // missing or torn file demotes the lease back to pending.
+    const std::optional<LeaseResult> result = read_result_file(paths, id);
+    if (result && board.record(*result)) {
+      jobs_done.fetch_add(result->lease.count, std::memory_order_relaxed);
+    }
+  }
+
+  const TransportTiming timing{opts.lease_timeout_sec, opts.poll_interval_sec};
+  const std::unique_ptr<CoordinatorEndpoint> endpoint =
+      opts.listen_port >= 0 ? make_tcp_coordinator(opts.listen_port, timing)
+                            : make_file_coordinator(opts.spool, timing);
+  if (opts.bound_port_out != nullptr) {
+    *opts.bound_port_out = endpoint->port();
+  }
+  endpoint->publish(manifest_text, board.leases, board.done);
+
+  {
+    std::unique_ptr<obs::Heartbeat> heartbeat;
+    if (!opts.progress_path.empty()) {
+      obs::Heartbeat::Options hopts;
+      hopts.phase = "fabric-coordinator";
+      hopts.progress_path = opts.progress_path;
+      const std::uint64_t total = manifest.jobs;
+      heartbeat = std::make_unique<obs::Heartbeat>(
+          hopts, [&jobs_done, &jobs_failed, total] {
+            obs::ProgressSnapshot snap;
+            snap.jobs_done = jobs_done.load(std::memory_order_relaxed);
+            snap.jobs_failed = jobs_failed.load(std::memory_order_relaxed);
+            snap.jobs_total = total;
+            return snap;
+          });
+    }
+
+    while (board.leases_done < board.leases.size()) {
+      for (LeaseResult& result : endpoint->poll()) {
+        const std::uint64_t id = result.lease.id;
+        if (!board.record(result)) continue;
+        // Persist payloads before checkpointing: a `done` line must always
+        // have a readable result file behind it.
+        if (!read_result_file(paths, id)) {
+          write_result_file(paths, result, "coordinator");
+        }
+        append_checkpoint(paths, board.leases[id]);
+        endpoint->mark_done(id);
+        jobs_done.fetch_add(result.lease.count, std::memory_order_relaxed);
+        jobs_failed.fetch_add(count_failed(result.payloads),
+                              std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::optional<MergeError> error;
+  if (opts.out_path.empty()) {
+    error = write_merged_output(std::cout, grid, board.payloads);
+  } else {
+    std::ofstream os(opts.out_path, std::ios::binary);
+    if (!os) {
+      std::cerr << "fabric: cannot write '" << opts.out_path << "'\n";
+      return 1;
+    }
+    error = write_merged_output(os, grid, board.payloads);
+  }
+  if (error) {
+    std::cerr << "fabric: job #" << error->job << " ("
+              << grid.job_label(error->job) << ") failed: " << error->message
+              << "\n";
+    return 1;
+  }
+  if (!opts.out_path.empty()) {
+    std::cerr << "fabric: merged " << manifest.jobs << " jobs -> "
+              << opts.out_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace mra::fabric

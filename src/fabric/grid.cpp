@@ -1,0 +1,228 @@
+#include "fabric/grid.hpp"
+
+#include <stdexcept>
+
+#include "algo/factory.hpp"
+#include "check/explore.hpp"
+#include "experiment/replicate.hpp"
+#include "fabric/result.hpp"
+#include "fabric/wire.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+
+namespace mra::fabric {
+
+const char* to_string(GridKind k) {
+  switch (k) {
+    case GridKind::kSweep: return "sweep";
+    case GridKind::kReplicated: return "replicated";
+    case GridKind::kExplore: return "explore";
+  }
+  return "?";
+}
+
+GridKind grid_kind_from_name(const std::string& name) {
+  if (name == "sweep") return GridKind::kSweep;
+  if (name == "replicated") return GridKind::kReplicated;
+  if (name == "explore") return GridKind::kExplore;
+  throw std::invalid_argument("unknown grid kind '" + name +
+                              "' (sweep | replicated | explore)");
+}
+
+namespace {
+
+void append_name_list(std::string& out,
+                      const std::vector<std::string>& names) {
+  out += '[';
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i != 0) out += ',';
+    wire::append_string(out, names[i]);
+  }
+  out += ']';
+}
+
+std::vector<std::string> read_name_list(wire::Cursor& c) {
+  std::vector<std::string> names;
+  c.expect("[");
+  while (!c.peek(']')) {
+    names.push_back(c.read_string());
+    if (c.peek(',')) c.expect(",");
+  }
+  c.expect("]");
+  return names;
+}
+
+}  // namespace
+
+std::string GridSpec::serialize() const {
+  std::string out = "{\"kind\":";
+  wire::append_string(out, to_string(kind));
+  out += ",\"scenarios\":";
+  append_name_list(out, scenarios);
+  out += ",\"algorithms\":";
+  append_name_list(out, algorithms);
+  out += ",\"replications\":" + std::to_string(replications);
+  out += ",\"seeds_per_job\":" + std::to_string(seeds_per_job);
+  out += ",\"explore_jobs\":" + std::to_string(explore_jobs);
+  out += ",\"quick\":";
+  out += quick ? "true" : "false";
+  out += ",\"seed_set\":";
+  out += seed_set ? "true" : "false";
+  out += ",\"seed\":" + std::to_string(seed);
+  out += '}';
+  return out;
+}
+
+GridSpec GridSpec::parse(std::string_view text) {
+  wire::Cursor c(text);
+  GridSpec g;
+  c.expect("{\"kind\":");
+  g.kind = grid_kind_from_name(c.read_string());
+  c.expect(",\"scenarios\":");
+  g.scenarios = read_name_list(c);
+  c.expect(",\"algorithms\":");
+  g.algorithms = read_name_list(c);
+  c.expect(",\"replications\":");
+  g.replications = c.read_u64();
+  c.expect(",\"seeds_per_job\":");
+  g.seeds_per_job = c.read_u64();
+  c.expect(",\"explore_jobs\":");
+  g.explore_jobs = c.read_u64();
+  c.expect(",\"quick\":");
+  g.quick = c.consume("true");
+  if (!g.quick) c.expect("false");
+  c.expect(",\"seed_set\":");
+  g.seed_set = c.consume("true");
+  if (!g.seed_set) c.expect("false");
+  c.expect(",\"seed\":");
+  g.seed = c.read_u64();
+  c.expect("}");
+  return g;
+}
+
+void GridSpec::validate() const {
+  if (scenarios.empty()) {
+    throw std::invalid_argument("grid: no scenarios");
+  }
+  if (algorithms.empty()) {
+    throw std::invalid_argument("grid: no algorithms");
+  }
+  for (const std::string& name : scenarios) {
+    (void)scenario::find_scenario(name);  // throws listing valid names
+  }
+  for (const std::string& name : algorithms) {
+    (void)algo::algorithm_from_name(name);
+  }
+  if (kind == GridKind::kReplicated && replications == 0) {
+    throw std::invalid_argument("grid: replications must be >= 1");
+  }
+  if (kind == GridKind::kExplore &&
+      (seeds_per_job == 0 || explore_jobs == 0)) {
+    throw std::invalid_argument(
+        "grid: explore needs seeds_per_job >= 1 and explore_jobs >= 1");
+  }
+}
+
+std::size_t GridSpec::job_count() const {
+  switch (kind) {
+    case GridKind::kSweep: return scenarios.size() * algorithms.size();
+    case GridKind::kReplicated:
+      return scenarios.size() * algorithms.size() * replications;
+    case GridKind::kExplore: return explore_jobs;
+  }
+  return 0;
+}
+
+std::string GridSpec::job_label(std::size_t index) const {
+  if (kind == GridKind::kExplore) {
+    return "explore:" + std::to_string(index);
+  }
+  std::size_t pair = index;
+  if (kind == GridKind::kReplicated) pair = index / replications;
+  return scenarios[pair / algorithms.size()];
+}
+
+std::vector<scenario::ScenarioSpec> GridSpec::resolve_scenarios() const {
+  std::vector<scenario::ScenarioSpec> specs;
+  specs.reserve(scenarios.size());
+  for (const std::string& name : scenarios) {
+    specs.push_back(scenario::find_scenario(name));
+  }
+  for (scenario::ScenarioSpec& s : specs) {
+    if (seed_set) s.system.seed = seed;
+    if (quick) {
+      s.warmup = sim::from_ms(300);
+      s.measure = sim::from_ms(1500);
+    }
+  }
+  return specs;
+}
+
+std::string GridSpec::run_job(std::size_t index) const {
+  if (index >= job_count()) {
+    throw std::out_of_range("grid: job index " + std::to_string(index) +
+                            " out of range (" + std::to_string(job_count()) +
+                            " jobs)");
+  }
+  if (kind == GridKind::kExplore) {
+    check::ExploreConfig cfg;
+    cfg.scenarios = resolve_scenarios();
+    for (const std::string& name : algorithms) {
+      cfg.algorithms.push_back(algo::algorithm_from_name(name));
+    }
+    cfg.seeds_per_case = static_cast<int>(seeds_per_job);
+    // Disjoint seed range per job: the report of the whole sweep is the
+    // concatenation of per-job reports, independent of how jobs shard
+    // across workers.
+    cfg.base_seed = seed + static_cast<std::uint64_t>(index) * seeds_per_job;
+    cfg.stop_on_first = false;
+    cfg.threads = 1;
+    cfg.minimize_budget = 0;
+    const check::ExploreReport report = check::explore(cfg);
+    std::string out = "{\"job\":" + std::to_string(index);
+    out += ",\"base_seed\":" + std::to_string(cfg.base_seed);
+    out += ",\"runs\":" + std::to_string(report.runs);
+    out += ",\"violating_runs\":" + std::to_string(report.violating_runs);
+    out += '}';
+    return out;
+  }
+
+  const std::size_t reps =
+      kind == GridKind::kReplicated ? replications : std::size_t{1};
+  const std::size_t pair = index / reps;
+  const std::size_t rep = index % reps;
+  scenario::ScenarioSpec spec =
+      resolve_scenarios()[pair / algorithms.size()];
+  const algo::Algorithm alg =
+      algo::algorithm_from_name(algorithms[pair % algorithms.size()]);
+  if (kind == GridKind::kReplicated) {
+    spec.system.seed = experiment::replication_seed(spec.system.seed, rep);
+  }
+  return serialize_result(scenario::run_scenario(spec, alg));
+}
+
+std::string Manifest::serialize() const {
+  std::string out = "{\"fabric\":1,\"jobs\":" + std::to_string(jobs);
+  out += ",\"chunk\":" + std::to_string(chunk);
+  out += ",\"grid\":" + grid.serialize();
+  out += "}\n";
+  return out;
+}
+
+Manifest Manifest::parse(std::string_view text) {
+  wire::Cursor c(text);
+  Manifest m;
+  c.expect("{\"fabric\":1,\"jobs\":");
+  m.jobs = c.read_u64();
+  c.expect(",\"chunk\":");
+  m.chunk = c.read_u64();
+  if (m.chunk == 0) {
+    throw std::invalid_argument("manifest: chunk must be >= 1");
+  }
+  c.expect(",\"grid\":");
+  m.grid = GridSpec::parse(c.read_object());
+  c.expect("}");
+  return m;
+}
+
+}  // namespace mra::fabric

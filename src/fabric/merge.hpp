@@ -1,0 +1,49 @@
+// Shard merging and the single-process reference path (DESIGN.md §15).
+//
+// The merge-order invariant: the coordinator hands this layer the payload
+// lines of ALL jobs, indexed by job — never by worker or by arrival order —
+// and the merged report is a pure function of (grid, payloads). Combined
+// with exact double round-tripping on the wire, that makes the merged output
+// byte-identical to run_local() on one machine, for any sharding, worker
+// count, or worker death + retry. CI diffs the two with cmp.
+//
+// This file is intentionally NOT on the wall-clock lint allowlist; the lint
+// fixture tests/lint_fixtures/src/fabric/merge.cpp pins that a wall-clock
+// call here would still be flagged.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "fabric/grid.hpp"
+
+namespace mra::fabric {
+
+/// The lowest-index failed job when a merge cannot proceed.
+struct MergeError {
+  std::size_t job = 0;
+  std::string message;
+};
+
+/// Merges complete per-job payloads (payloads[i] = job i) into the standard
+/// report for grid.kind — the same writers the in-process runners use. On
+/// any error payload nothing is written and the lowest failed job comes
+/// back. Throws std::invalid_argument on malformed payloads or a payload
+/// count mismatch.
+[[nodiscard]] std::optional<MergeError> write_merged_output(
+    std::ostream& os, const GridSpec& grid,
+    const std::vector<std::string>& payloads);
+
+/// Runs the whole grid in this process (run_sweep / run_replicated_jobs /
+/// a sequential explore loop) and writes the identical report to `os` —
+/// the reference the fabric's merged output is cmp'd against. Returns an
+/// exit code (0 ok, 1 job failure), reporting failures on stderr.
+/// `progress_path` non-empty attaches an obs::Heartbeat.
+[[nodiscard]] int run_local(const GridSpec& grid, unsigned threads,
+                            std::ostream& os,
+                            const std::string& progress_path);
+
+}  // namespace mra::fabric

@@ -1,0 +1,92 @@
+#include "fabric/result.hpp"
+
+#include "fabric/wire.hpp"
+
+namespace mra::fabric {
+
+std::string serialize_result(const experiment::ExperimentResult& r) {
+  std::string out = "{\"algorithm\":";
+  wire::append_string(out, r.algorithm);
+  out += ",\"phi\":" + std::to_string(r.phi);
+  out += ",\"rho\":";
+  wire::append_double(out, r.rho);
+  out += ",\"use_rate\":";
+  wire::append_double(out, r.use_rate);
+  out += ",\"waiting_mean_ms\":";
+  wire::append_double(out, r.waiting_mean_ms);
+  out += ",\"waiting_stddev_ms\":";
+  wire::append_double(out, r.waiting_stddev_ms);
+  out += ",\"waiting_p50_ms\":";
+  wire::append_double(out, r.waiting_p50_ms);
+  out += ",\"waiting_p95_ms\":";
+  wire::append_double(out, r.waiting_p95_ms);
+  out += ",\"waiting_p99_ms\":";
+  wire::append_double(out, r.waiting_p99_ms);
+  out += ",\"requests_completed\":" + std::to_string(r.requests_completed);
+  out += ",\"messages\":" + std::to_string(r.messages);
+  out += ",\"bytes\":" + std::to_string(r.bytes);
+  out += ",\"messages_per_cs\":";
+  wire::append_double(out, r.messages_per_cs);
+  out += ",\"loans_used\":" + std::to_string(r.loans_used);
+  out += ",\"loans_failed\":" + std::to_string(r.loans_failed);
+  out += ",\"waiting_stats\":" + r.waiting_stats.serialize();
+  out += ",\"waiting_sketch\":" + r.waiting_sketch.serialize();
+  out += '}';
+  return out;
+}
+
+experiment::ExperimentResult parse_result(std::string_view line) {
+  wire::Cursor c(line);
+  experiment::ExperimentResult r;
+  c.expect("{\"algorithm\":");
+  r.algorithm = c.read_string();
+  c.expect(",\"phi\":");
+  r.phi = static_cast<int>(c.read_i64());
+  c.expect(",\"rho\":");
+  r.rho = c.read_double();
+  c.expect(",\"use_rate\":");
+  r.use_rate = c.read_double();
+  c.expect(",\"waiting_mean_ms\":");
+  r.waiting_mean_ms = c.read_double();
+  c.expect(",\"waiting_stddev_ms\":");
+  r.waiting_stddev_ms = c.read_double();
+  c.expect(",\"waiting_p50_ms\":");
+  r.waiting_p50_ms = c.read_double();
+  c.expect(",\"waiting_p95_ms\":");
+  r.waiting_p95_ms = c.read_double();
+  c.expect(",\"waiting_p99_ms\":");
+  r.waiting_p99_ms = c.read_double();
+  c.expect(",\"requests_completed\":");
+  r.requests_completed = c.read_u64();
+  c.expect(",\"messages\":");
+  r.messages = c.read_u64();
+  c.expect(",\"bytes\":");
+  r.bytes = c.read_u64();
+  c.expect(",\"messages_per_cs\":");
+  r.messages_per_cs = c.read_double();
+  c.expect(",\"loans_used\":");
+  r.loans_used = c.read_u64();
+  c.expect(",\"loans_failed\":");
+  r.loans_failed = c.read_u64();
+  c.expect(",\"waiting_stats\":");
+  r.waiting_stats = metrics::RunningStats::deserialize(c.read_object());
+  c.expect(",\"waiting_sketch\":");
+  r.waiting_sketch = metrics::QuantileSketch::deserialize(c.read_object());
+  c.expect("}");
+  return r;
+}
+
+std::string error_payload(std::string_view message) {
+  std::string out = "{\"error\":";
+  wire::append_string(out, message);
+  out += '}';
+  return out;
+}
+
+std::optional<std::string> parse_error(std::string_view line) {
+  wire::Cursor c(line);
+  if (!c.consume("{\"error\":")) return std::nullopt;
+  return c.read_string();
+}
+
+}  // namespace mra::fabric

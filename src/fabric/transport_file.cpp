@@ -1,0 +1,240 @@
+// File-queue transport backend (DESIGN.md §15): coordination through a spool
+// directory alone, shareable across hosts over NFS. Claiming is optimistic —
+// write your claim file via atomic rename, re-read to see who won. The
+// re-read race (two workers both confirming within one interleaving window)
+// is tolerated: jobs are idempotent by index and payloads deterministic, so
+// the duplicate lease just burns CPU.
+//
+// This file is on the mra_lint wall-clock allowlist: claim staleness is
+// judged by file mtime against the filesystem clock, and idle paths sleep a
+// real poll interval.
+#include <chrono>
+#include <filesystem>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fabric/grid.hpp"
+#include "fabric/spool.hpp"
+#include "fabric/transport.hpp"
+#include "fabric/wire.hpp"
+
+namespace mra::fabric {
+namespace {
+
+namespace fs = std::filesystem;
+
+using FpSeconds = std::chrono::duration<double>;
+
+void sleep_poll(const TransportTiming& timing) {
+  std::this_thread::sleep_for(FpSeconds(timing.poll_interval_sec));
+}
+
+struct ClaimInfo {
+  std::string worker;
+  std::uint64_t fence = 0;
+};
+
+std::string claim_text(const ClaimInfo& claim) {
+  std::string out = "{\"worker\":";
+  wire::append_string(out, claim.worker);
+  out += ",\"fence\":" + std::to_string(claim.fence);
+  out += "}\n";
+  return out;
+}
+
+std::optional<ClaimInfo> parse_claim(std::string_view text) {
+  try {
+    wire::Cursor c(text);
+    ClaimInfo claim;
+    c.expect("{\"worker\":");
+    claim.worker = c.read_string();
+    c.expect(",\"fence\":");
+    claim.fence = c.read_u64();
+    c.expect("}");
+    return claim;
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+}
+
+/// Seconds since `path` was last written; a huge value if unreadable (a
+/// vanished claim is treated as infinitely stale and retried from scratch).
+double claim_age_sec(const std::string& path) {
+  std::error_code ec;
+  const fs::file_time_type mtime = fs::last_write_time(path, ec);
+  if (ec) return 1e18;
+  const auto age = fs::file_time_type::clock::now() - mtime;
+  return std::chrono::duration_cast<FpSeconds>(age).count();
+}
+
+class FileWorker final : public Transport {
+ public:
+  FileWorker(std::string spool_root, std::string worker_name,
+             const TransportTiming& timing)
+      : paths_{std::move(spool_root)},
+        name_(std::move(worker_name)),
+        timing_(timing) {}
+
+  std::optional<std::string> manifest() override {
+    const std::optional<std::string> text = read_file(paths_.manifest());
+    if (!text) {
+      sleep_poll(timing_);
+      return std::nullopt;
+    }
+    if (leases_.empty()) {
+      const Manifest m = Manifest::parse(*text);
+      leases_ = partition_leases(m.jobs, m.chunk);
+      if (!leases_.empty()) {
+        scan_start_ = std::hash<std::string>{}(name_) % leases_.size();
+      }
+    }
+    return text;
+  }
+
+  std::optional<Lease> acquire() override {
+    require_manifest();
+    // Scan from a per-worker offset, not lease 0: workers that scan in
+    // lockstep all race on the same claim and serialize. The offset spreads
+    // them over the grid; every lease is still visited each round.
+    const std::size_t n = leases_.size();
+    bool all_done = true;
+    for (std::size_t step = 0; step < n; ++step) {
+      const Lease& lease = leases_[(scan_start_ + step) % n];
+      std::error_code ec;
+      if (fs::exists(paths_.result(lease.id), ec)) continue;
+      all_done = false;
+      std::optional<Lease> claimed = try_claim(lease);
+      if (claimed) {
+        scan_start_ = (lease.id + 1) % n;
+        return claimed;
+      }
+    }
+    if (!all_done) sleep_poll(timing_);
+    return std::nullopt;
+  }
+
+  bool keepalive(const Lease& lease) override {
+    const std::optional<std::string> text = read_file(paths_.claim(lease.id));
+    if (!text) return false;
+    const std::optional<ClaimInfo> claim = parse_claim(*text);
+    if (!claim || claim->worker != name_ || claim->fence != lease.fence) {
+      return false;
+    }
+    // Rewrite to refresh the mtime that stale-detection reads.
+    write_file_atomic(paths_.claim(lease.id), *text, name_);
+    return true;
+  }
+
+  void submit(const LeaseResult& result) override {
+    write_result_file(paths_, result, name_);
+  }
+
+  bool finished() override {
+    if (leases_.empty()) return false;
+    for (const Lease& lease : leases_) {
+      std::error_code ec;
+      if (!fs::exists(paths_.result(lease.id), ec)) return false;
+    }
+    return true;
+  }
+
+ private:
+  void require_manifest() {
+    if (!leases_.empty()) return;
+    if (!manifest() && leases_.empty()) {
+      throw std::runtime_error("fabric: no manifest in spool '" + paths_.root +
+                               "'");
+    }
+  }
+
+  std::optional<Lease> try_claim(const Lease& lease) {
+    ClaimInfo mine{name_, 0};
+    const std::optional<std::string> existing =
+        read_file(paths_.claim(lease.id));
+    if (existing) {
+      const std::optional<ClaimInfo> claim = parse_claim(*existing);
+      const bool stale =
+          !claim ||
+          claim_age_sec(paths_.claim(lease.id)) > timing_.lease_timeout_sec;
+      if (!stale) return std::nullopt;  // live claim held by someone
+      mine.fence = claim ? claim->fence + 1 : 1;
+    }
+    write_file_atomic(paths_.claim(lease.id), claim_text(mine), name_);
+    // Re-read: under a rename race the last writer owns the lease.
+    const std::optional<std::string> now = read_file(paths_.claim(lease.id));
+    if (!now) return std::nullopt;
+    const std::optional<ClaimInfo> winner = parse_claim(*now);
+    if (!winner || winner->worker != name_ || winner->fence != mine.fence) {
+      return std::nullopt;
+    }
+    Lease held = lease;
+    held.fence = mine.fence;
+    return held;
+  }
+
+  SpoolPaths paths_;
+  std::string name_;
+  TransportTiming timing_;
+  std::vector<Lease> leases_;
+  std::size_t scan_start_ = 0;
+};
+
+class FileCoordinator final : public CoordinatorEndpoint {
+ public:
+  FileCoordinator(std::string spool_root, const TransportTiming& timing)
+      : paths_{std::move(spool_root)}, timing_(timing) {}
+
+  void publish(const std::string& manifest, const std::vector<Lease>& leases,
+               const std::vector<bool>& done) override {
+    ensure_spool_dirs(paths_);
+    if (!read_file(paths_.manifest())) {
+      write_file_atomic(paths_.manifest(), manifest, "coordinator");
+    }
+    leases_ = leases;
+    consumed_ = done;
+    consumed_.resize(leases_.size(), false);
+  }
+
+  std::vector<LeaseResult> poll() override {
+    std::vector<LeaseResult> fresh;
+    for (std::size_t i = 0; i < leases_.size(); ++i) {
+      if (consumed_[i]) continue;
+      std::optional<LeaseResult> result =
+          read_result_file(paths_, leases_[i].id);
+      if (!result) continue;
+      consumed_[i] = true;
+      fresh.push_back(std::move(*result));
+    }
+    if (fresh.empty()) sleep_poll(timing_);
+    return fresh;
+  }
+
+  void mark_done(std::uint64_t /*lease_id*/) override {
+    // The result file in the spool is already the durable record; delivery
+    // bookkeeping happened in poll().
+  }
+
+ private:
+  SpoolPaths paths_;
+  TransportTiming timing_;
+  std::vector<Lease> leases_;
+  std::vector<bool> consumed_;
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> make_file_worker(const std::string& spool_root,
+                                            const std::string& worker_name,
+                                            const TransportTiming& timing) {
+  return std::make_unique<FileWorker>(spool_root, worker_name, timing);
+}
+
+std::unique_ptr<CoordinatorEndpoint> make_file_coordinator(
+    const std::string& spool_root, const TransportTiming& timing) {
+  return std::make_unique<FileCoordinator>(spool_root, timing);
+}
+
+}  // namespace mra::fabric

@@ -1,0 +1,437 @@
+// TCP transport backend (DESIGN.md §15): 4-byte big-endian length-prefixed
+// JSON frames over plain sockets, no external deps. Unlike the file queue,
+// the coordinator is live state here: it owns the lease ledger
+// (pending / issued{fence, deadline} / done) and reissues a lease whose
+// deadline lapses with the fence bumped — that is the whole crash story for
+// a kill -9'd worker. Results are accepted for any fence as long as the
+// lease is not already done: payloads are deterministic, so every copy is
+// byte-identical and first-wins is safe.
+//
+// This file is on the mra_lint wall-clock allowlist: lease deadlines are
+// steady_clock timestamps and idle paths wait out a real poll interval.
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fabric/transport.hpp"
+#include "fabric/wire.hpp"
+
+namespace mra::fabric {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using FpSeconds = std::chrono::duration<double>;
+
+constexpr std::size_t kMaxFrame = 256U * 1024U * 1024U;
+
+void sleep_poll(const TransportTiming& timing) {
+  std::this_thread::sleep_for(FpSeconds(timing.poll_interval_sec));
+}
+
+bool send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool recv_all(int fd, char* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, data + got, size - got, MSG_WAITALL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_frame(int fd, std::string_view body) {
+  unsigned char header[4];
+  const std::uint32_t size = static_cast<std::uint32_t>(body.size());
+  header[0] = static_cast<unsigned char>(size >> 24U);
+  header[1] = static_cast<unsigned char>((size >> 16U) & 0xFFU);
+  header[2] = static_cast<unsigned char>((size >> 8U) & 0xFFU);
+  header[3] = static_cast<unsigned char>(size & 0xFFU);
+  return send_all(fd, reinterpret_cast<const char*>(header), 4) &&
+         send_all(fd, body.data(), body.size());
+}
+
+std::optional<std::string> recv_frame(int fd) {
+  unsigned char header[4];
+  if (!recv_all(fd, reinterpret_cast<char*>(header), 4)) return std::nullopt;
+  const std::size_t size = (static_cast<std::size_t>(header[0]) << 24U) |
+                           (static_cast<std::size_t>(header[1]) << 16U) |
+                           (static_cast<std::size_t>(header[2]) << 8U) |
+                           static_cast<std::size_t>(header[3]);
+  if (size > kMaxFrame) return std::nullopt;
+  std::string body(size, '\0');
+  if (!recv_all(fd, body.data(), size)) return std::nullopt;
+  return body;
+}
+
+std::string lease_frame(const Lease& lease) {
+  std::string out = "{\"type\":\"lease\",\"id\":" + std::to_string(lease.id);
+  out += ",\"first\":" + std::to_string(lease.first);
+  out += ",\"count\":" + std::to_string(lease.count);
+  out += ",\"fence\":" + std::to_string(lease.fence);
+  out += '}';
+  return out;
+}
+
+Lease parse_lease_frame(wire::Cursor& c) {
+  Lease lease;
+  c.expect("\"id\":");
+  lease.id = c.read_u64();
+  c.expect(",\"first\":");
+  lease.first = c.read_u64();
+  c.expect(",\"count\":");
+  lease.count = c.read_u64();
+  c.expect(",\"fence\":");
+  lease.fence = c.read_u64();
+  return lease;
+}
+
+class TcpCoordinator final : public CoordinatorEndpoint {
+ public:
+  TcpCoordinator(int port, const TransportTiming& timing) : timing_(timing) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      throw std::runtime_error("fabric/tcp: socket() failed");
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 16) != 0) {
+      ::close(listen_fd_);
+      throw std::runtime_error("fabric/tcp: cannot listen on port " +
+                               std::to_string(port) + ": " +
+                               std::strerror(errno));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+        0) {
+      port_ = ntohs(bound.sin_port);
+    }
+  }
+
+  ~TcpCoordinator() override {
+    for (const int fd : clients_) ::close(fd);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+  }
+
+  void publish(const std::string& manifest, const std::vector<Lease>& leases,
+               const std::vector<bool>& done) override {
+    manifest_ = manifest;
+    slots_.clear();
+    slots_.reserve(leases.size());
+    for (std::size_t i = 0; i < leases.size(); ++i) {
+      Slot slot;
+      slot.lease = leases[i];
+      slot.state = i < done.size() && done[i] ? Slot::kDone : Slot::kPending;
+      slots_.push_back(slot);
+    }
+  }
+
+  std::vector<LeaseResult> poll() override {
+    ready_.clear();
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const int fd : clients_) fds.push_back({fd, POLLIN, 0});
+    const int timeout_ms =
+        static_cast<int>(timing_.poll_interval_sec * 1000.0);
+    const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (n <= 0) return {};
+
+    std::vector<int> alive;
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      const int fd = fds[i].fd;
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        alive.push_back(fd);
+        continue;
+      }
+      if (serve_one(fd)) {
+        alive.push_back(fd);
+      } else {
+        ::close(fd);
+      }
+    }
+    clients_ = std::move(alive);
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int client = ::accept(listen_fd_, nullptr, nullptr);
+      if (client >= 0) clients_.push_back(client);
+    }
+    return std::move(ready_);
+  }
+
+  void mark_done(std::uint64_t /*lease_id*/) override {
+    // The ledger flipped to kDone when the result frame arrived.
+  }
+
+  [[nodiscard]] int port() const override { return port_; }
+
+ private:
+  struct Slot {
+    enum State { kPending, kIssued, kDone };
+    State state = kPending;
+    Lease lease;
+    Clock::time_point deadline;
+  };
+
+  /// Reads one frame from `fd`, replies; false = drop this client.
+  bool serve_one(int fd) {
+    const std::optional<std::string> body = recv_frame(fd);
+    if (!body) return false;
+    wire::Cursor c(*body);
+    if (c.consume("{\"type\":\"hello\",\"worker\":")) {
+      (void)c.read_string();
+      std::string reply = "{\"type\":\"manifest\",\"text\":";
+      wire::append_string(reply, manifest_);
+      reply += '}';
+      return send_frame(fd, reply);
+    }
+    if (c.consume("{\"type\":\"acquire\",\"worker\":")) {
+      (void)c.read_string();
+      return send_frame(fd, next_lease());
+    }
+    if (c.consume("{\"type\":\"keepalive\",")) {
+      const Lease lease = parse_lease_frame(c);
+      return send_frame(fd, refresh(lease) ? "{\"type\":\"ok\"}"
+                                           : "{\"type\":\"lost\"}");
+    }
+    if (c.consume("{\"type\":\"result\",")) {
+      const Lease lease = parse_lease_frame(c);
+      c.expect(",\"payloads\":[");
+      LeaseResult result;
+      result.lease = lease;
+      while (!c.peek(']')) {
+        result.payloads.push_back(c.read_string());
+        if (c.peek(',')) c.expect(",");
+      }
+      c.expect("]");
+      accept_result(std::move(result));
+      return send_frame(fd, "{\"type\":\"ok\"}");
+    }
+    return false;  // unknown frame: drop the client
+  }
+
+  std::string next_lease() {
+    const Clock::time_point now = Clock::now();
+    const auto timeout = std::chrono::duration_cast<Clock::duration>(
+        FpSeconds(timing_.lease_timeout_sec));
+    bool all_done = true;
+    for (Slot& slot : slots_) {
+      if (slot.state == Slot::kDone) continue;
+      all_done = false;
+      const bool expired =
+          slot.state == Slot::kIssued && now >= slot.deadline;
+      if (slot.state == Slot::kPending || expired) {
+        if (expired) slot.lease.fence += 1;
+        slot.state = Slot::kIssued;
+        slot.deadline = now + timeout;
+        return lease_frame(slot.lease);
+      }
+    }
+    return all_done ? "{\"type\":\"finished\"}" : "{\"type\":\"idle\"}";
+  }
+
+  bool refresh(const Lease& lease) {
+    for (Slot& slot : slots_) {
+      if (slot.lease.id != lease.id) continue;
+      if (slot.state != Slot::kIssued || slot.lease.fence != lease.fence) {
+        return false;
+      }
+      slot.deadline =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             FpSeconds(timing_.lease_timeout_sec));
+      return true;
+    }
+    return false;
+  }
+
+  void accept_result(LeaseResult result) {
+    for (Slot& slot : slots_) {
+      if (slot.lease.id != result.lease.id) continue;
+      // Any fence is fine while not done: payloads are deterministic, the
+      // first complete copy wins.
+      if (slot.state == Slot::kDone) return;
+      if (result.payloads.size() != slot.lease.count) return;
+      slot.state = Slot::kDone;
+      ready_.push_back(std::move(result));
+      return;
+    }
+  }
+
+  TransportTiming timing_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::string manifest_;
+  std::vector<Slot> slots_;
+  std::vector<int> clients_;
+  std::vector<LeaseResult> ready_;
+};
+
+class TcpWorker final : public Transport {
+ public:
+  TcpWorker(std::string host, int port, std::string worker_name,
+            const TransportTiming& timing)
+      : host_(std::move(host)),
+        port_(port),
+        name_(std::move(worker_name)),
+        timing_(timing) {}
+
+  ~TcpWorker() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  std::optional<std::string> manifest() override {
+    std::string req = "{\"type\":\"hello\",\"worker\":";
+    wire::append_string(req, name_);
+    req += '}';
+    const std::optional<std::string> reply = request(req);
+    if (!reply) return std::nullopt;
+    wire::Cursor c(*reply);
+    c.expect("{\"type\":\"manifest\",\"text\":");
+    return c.read_string();
+  }
+
+  std::optional<Lease> acquire() override {
+    std::string req = "{\"type\":\"acquire\",\"worker\":";
+    wire::append_string(req, name_);
+    req += '}';
+    const std::optional<std::string> reply = request(req);
+    if (!reply) return std::nullopt;
+    wire::Cursor c(*reply);
+    if (c.consume("{\"type\":\"lease\",")) return parse_lease_frame(c);
+    if (c.consume("{\"type\":\"finished\"}")) {
+      finished_ = true;
+      return std::nullopt;
+    }
+    sleep_poll(timing_);  // idle: the grid is fully leased out right now
+    return std::nullopt;
+  }
+
+  bool keepalive(const Lease& lease) override {
+    std::string req =
+        "{\"type\":\"keepalive\"," +
+        lease_frame(lease).substr(std::strlen("{\"type\":\"lease\","));
+    const std::optional<std::string> reply = request(req);
+    return reply && *reply == "{\"type\":\"ok\"}";
+  }
+
+  void submit(const LeaseResult& result) override {
+    std::string req =
+        "{\"type\":\"result\",\"id\":" + std::to_string(result.lease.id);
+    req += ",\"first\":" + std::to_string(result.lease.first);
+    req += ",\"count\":" + std::to_string(result.lease.count);
+    req += ",\"fence\":" + std::to_string(result.lease.fence);
+    req += ",\"payloads\":[";
+    for (std::size_t i = 0; i < result.payloads.size(); ++i) {
+      if (i != 0) req += ',';
+      wire::append_string(req, result.payloads[i]);
+    }
+    req += "]}";
+    (void)request(req);
+  }
+
+  bool finished() override { return finished_; }
+
+ private:
+  /// One round trip; reconnects lazily. A broken connection after it was
+  /// once established means the coordinator exited — treat as finished.
+  std::optional<std::string> request(std::string_view body) {
+    if (finished_) return std::nullopt;
+    if (fd_ < 0 && !connect_with_retry()) return std::nullopt;
+    if (send_frame(fd_, body)) {
+      std::optional<std::string> reply = recv_frame(fd_);
+      if (reply) return reply;
+    }
+    ::close(fd_);
+    fd_ = -1;
+    finished_ = true;  // coordinator gone: nothing left to work on
+    return std::nullopt;
+  }
+
+  bool connect_with_retry() {
+    const int max_attempts = std::max(
+        1, static_cast<int>(60.0 / std::max(timing_.poll_interval_sec, 1e-3)));
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      if (connect_once()) return true;
+      std::this_thread::sleep_for(FpSeconds(timing_.poll_interval_sec));
+    }
+    throw std::runtime_error("fabric/tcp: cannot connect to " + host_ + ":" +
+                             std::to_string(port_));
+  }
+
+  bool connect_once() {
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* found = nullptr;
+    const std::string port_text = std::to_string(port_);
+    if (::getaddrinfo(host_.c_str(), port_text.c_str(), &hints, &found) != 0) {
+      return false;
+    }
+    int fd = -1;
+    for (addrinfo* it = found; it != nullptr; it = it->ai_next) {
+      fd = ::socket(it->ai_family, it->ai_socktype, it->ai_protocol);
+      if (fd < 0) continue;
+      if (::connect(fd, it->ai_addr, it->ai_addrlen) == 0) break;
+      ::close(fd);
+      fd = -1;
+    }
+    ::freeaddrinfo(found);
+    if (fd < 0) return false;
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    fd_ = fd;
+    return true;
+  }
+
+  std::string host_;
+  int port_;
+  std::string name_;
+  TransportTiming timing_;
+  int fd_ = -1;
+  bool finished_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> make_tcp_worker(const std::string& host, int port,
+                                           const std::string& worker_name,
+                                           const TransportTiming& timing) {
+  return std::make_unique<TcpWorker>(host, port, worker_name, timing);
+}
+
+std::unique_ptr<CoordinatorEndpoint> make_tcp_coordinator(
+    int port, const TransportTiming& timing) {
+  return std::make_unique<TcpCoordinator>(port, timing);
+}
+
+}  // namespace mra::fabric

@@ -2,10 +2,93 @@
 
 #include <algorithm>
 #include <array>
+#include <charconv>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 namespace mra::metrics {
+namespace {
+
+// %.17g round-trips every finite double exactly through a correctly-rounded
+// parser; non-finite values become quoted tokens so the line stays valid
+// JSON. This exactness is what makes deserialize(serialize(x)) bit-identical
+// to x — the contract the fabric's cross-process merges rely on.
+void append_double(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "\"nan\"";
+  } else if (std::isinf(v)) {
+    out += v > 0.0 ? "\"inf\"" : "\"-inf\"";
+  } else {
+    std::array<char, 32> buf{};
+    const int n = std::snprintf(buf.data(), buf.size(), "%.17g", v);
+    out.append(buf.data(), static_cast<std::size_t>(n));
+  }
+}
+
+// Strict linear scanner: both serialized formats have a fixed key order, so
+// no general JSON parser is needed. Every mismatch throws.
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void expect(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) {
+      throw std::invalid_argument(
+          "metrics deserialize: malformed input at offset " +
+          std::to_string(pos));
+    }
+    pos += lit.size();
+  }
+
+  [[nodiscard]] bool peek(char c) const {
+    return pos < text.size() && text[pos] == c;
+  }
+
+  std::uint64_t read_u64() {
+    std::uint64_t v = 0;
+    const auto [end, ec] =
+        std::from_chars(text.data() + pos, text.data() + text.size(), v);
+    if (ec != std::errc{}) {
+      throw std::invalid_argument(
+          "metrics deserialize: expected integer at offset " +
+          std::to_string(pos));
+    }
+    pos = static_cast<std::size_t>(end - text.data());
+    return v;
+  }
+
+  double read_double() {
+    if (peek('"')) {  // the non-finite tokens "inf" / "-inf" / "nan"
+      const std::size_t close = text.find('"', pos + 1);
+      if (close == std::string_view::npos) {
+        throw std::invalid_argument(
+            "metrics deserialize: unterminated token at offset " +
+            std::to_string(pos));
+      }
+      const std::string_view tok = text.substr(pos + 1, close - pos - 1);
+      pos = close + 1;
+      if (tok == "inf") return std::numeric_limits<double>::infinity();
+      if (tok == "-inf") return -std::numeric_limits<double>::infinity();
+      if (tok == "nan") return std::numeric_limits<double>::quiet_NaN();
+      throw std::invalid_argument(
+          "metrics deserialize: unknown non-finite token '" +
+          std::string(tok) + "'");
+    }
+    double v = 0.0;
+    const auto [end, ec] =
+        std::from_chars(text.data() + pos, text.data() + text.size(), v);
+    if (ec != std::errc{}) {
+      throw std::invalid_argument(
+          "metrics deserialize: expected number at offset " +
+          std::to_string(pos));
+    }
+    pos = static_cast<std::size_t>(end - text.data());
+    return v;
+  }
+};
+
+}  // namespace
 
 void RunningStats::add(double x) {
   ++count_;
@@ -40,6 +123,41 @@ void RunningStats::merge(const RunningStats& other) {
   sum_ += other.sum_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
+}
+
+std::string RunningStats::serialize() const {
+  std::string out = "{\"count\":" + std::to_string(count_);
+  out += ",\"mean\":";
+  append_double(out, mean_);
+  out += ",\"m2\":";
+  append_double(out, m2_);
+  out += ",\"sum\":";
+  append_double(out, sum_);
+  out += ",\"min\":";
+  append_double(out, min_);
+  out += ",\"max\":";
+  append_double(out, max_);
+  out += '}';
+  return out;
+}
+
+RunningStats RunningStats::deserialize(std::string_view text) {
+  Cursor c{text};
+  RunningStats s;
+  c.expect("{\"count\":");
+  s.count_ = c.read_u64();
+  c.expect(",\"mean\":");
+  s.mean_ = c.read_double();
+  c.expect(",\"m2\":");
+  s.m2_ = c.read_double();
+  c.expect(",\"sum\":");
+  s.sum_ = c.read_double();
+  c.expect(",\"min\":");
+  s.min_ = c.read_double();
+  c.expect(",\"max\":");
+  s.max_ = c.read_double();
+  c.expect("}");
+  return s;
 }
 
 // ---------------------------------------------------------------------------
@@ -221,6 +339,68 @@ double QuantileSketch::percentile(double p) const {
     seen += c;
   }
   return max_;  // rank lands in the overflow region
+}
+
+std::string QuantileSketch::serialize() const {
+  std::string out = "{\"alpha\":";
+  append_double(out, alpha_);
+  out += ",\"count\":" + std::to_string(count_);
+  out += ",\"underflow\":" + std::to_string(underflow_);
+  out += ",\"overflow\":" + std::to_string(overflow_);
+  out += ",\"nonfinite\":" + std::to_string(nonfinite_);
+  out += ",\"min\":";
+  append_double(out, min_);
+  out += ",\"max\":";
+  append_double(out, max_);
+  out += ",\"buckets\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '[' + std::to_string(i) + ',' + std::to_string(counts_[i]) + ']';
+  }
+  out += "]}";
+  return out;
+}
+
+QuantileSketch QuantileSketch::deserialize(std::string_view text) {
+  Cursor c{text};
+  c.expect("{\"alpha\":");
+  const double alpha = c.read_double();
+  QuantileSketch s(alpha);  // derives gamma / offset / bucket span from alpha
+  c.expect(",\"count\":");
+  s.count_ = c.read_u64();
+  c.expect(",\"underflow\":");
+  s.underflow_ = c.read_u64();
+  c.expect(",\"overflow\":");
+  s.overflow_ = c.read_u64();
+  c.expect(",\"nonfinite\":");
+  s.nonfinite_ = c.read_u64();
+  c.expect(",\"min\":");
+  s.min_ = c.read_double();
+  c.expect(",\"max\":");
+  s.max_ = c.read_double();
+  c.expect(",\"buckets\":[");
+  // add() allocates the bucket array on the first sample, so a non-empty
+  // sketch always carries it; preserve that invariant (merge iterates over
+  // other.counts_, so dropping it would silently lose every bucket).
+  if (s.count_ > 0) s.counts_.assign(1 + s.num_buckets_, 0);
+  while (!c.peek(']')) {
+    c.expect("[");
+    const std::uint64_t idx = c.read_u64();
+    c.expect(",");
+    const std::uint64_t cnt = c.read_u64();
+    c.expect("]");
+    if (idx >= s.counts_.size()) {
+      throw std::invalid_argument(
+          "QuantileSketch::deserialize: bucket index out of range");
+    }
+    s.counts_[idx] = cnt;
+    if (c.peek(',')) c.expect(",");
+  }
+  c.expect("]}");
+  return s;
 }
 
 void QuantileSketch::reset() {

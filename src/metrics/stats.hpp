@@ -8,6 +8,8 @@
 
 #include <cstdint>
 #include <limits>
+#include <string>
+#include <string_view>
 #include <vector>
 
 namespace mra::metrics {
@@ -31,6 +33,15 @@ class RunningStats {
   void merge(const RunningStats& other);
 
   void reset() { *this = RunningStats{}; }
+
+  /// One-line JSON object holding the full accumulator state. Doubles use
+  /// %.17g (exact IEEE-754 round trip); non-finite values become the quoted
+  /// tokens "inf"/"-inf"/"nan" so the output stays valid JSON. deserialize()
+  /// restores a bit-identical accumulator: mean/variance/merge behave
+  /// exactly as in the original (the fabric's cross-process merge invariant,
+  /// DESIGN.md §15).
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static RunningStats deserialize(std::string_view text);
 
  private:
   std::uint64_t count_ = 0;
@@ -131,6 +142,16 @@ class QuantileSketch {
   [[nodiscard]] double percentile(double p) const;
 
   void reset();
+
+  /// One-line JSON object: alpha, counters, min/max, and the non-zero
+  /// buckets as sparse [index, count] pairs (index 0 is the zero bucket).
+  /// Doubles use %.17g, non-finite values the quoted tokens "inf"/"-inf"/
+  /// "nan". deserialize() reconstructs a sketch whose percentile() and
+  /// merge() results are bit-identical to the original's — the property the
+  /// distributed fabric ships sketches across processes on (DESIGN.md §15).
+  /// Throws std::invalid_argument on malformed input.
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static QuantileSketch deserialize(std::string_view text);
 
  private:
   [[nodiscard]] std::size_t bucket_index(double x) const;

@@ -70,6 +70,9 @@ void Heartbeat::tick(bool done) {
     } else {
       std::fprintf(stderr, " %" PRIu64 " jobs", snap.jobs_done);
     }
+    if (snap.jobs_failed > 0) {
+      std::fprintf(stderr, " failed=%" PRIu64, snap.jobs_failed);
+    }
     if (snap.schedules_executed > 0) {
       std::fprintf(stderr, " schedules=%" PRIu64 " pruned=%" PRIu64,
                    snap.schedules_executed, snap.orderings_pruned);
@@ -97,6 +100,7 @@ void Heartbeat::write_progress_file(const ProgressSnapshot& snap,
   if (f == nullptr) return;  // progress is best-effort, never fails the run
   std::fprintf(f, "{\n  \"phase\": \"%s\",\n", options_.phase.c_str());
   std::fprintf(f, "  \"jobs_done\": %" PRIu64 ",\n", snap.jobs_done);
+  std::fprintf(f, "  \"jobs_failed\": %" PRIu64 ",\n", snap.jobs_failed);
   std::fprintf(f, "  \"jobs_total\": %" PRIu64 ",\n", snap.jobs_total);
   if (snap.jobs_total > 0) {
     std::fprintf(f, "  \"percent\": %.2f,\n",

@@ -23,6 +23,7 @@ namespace mra::obs {
 /// suppress the percent/ETA fields.
 struct ProgressSnapshot {
   std::uint64_t jobs_done = 0;
+  std::uint64_t jobs_failed = 0;  ///< subset of jobs_done that threw
   std::uint64_t jobs_total = 0;
   std::uint64_t schedules_executed = 0;  ///< exhaustive mode only
   std::uint64_t orderings_pruned = 0;    ///< exhaustive mode only

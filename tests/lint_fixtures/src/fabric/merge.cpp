@@ -1,0 +1,15 @@
+// Lint fixture: wall-clock INSIDE src/fabric/ but outside transport* must
+// still fire — the allowlist covers the transport backends only, not the
+// fabric's merge/coordinator/worker layers, which have to stay
+// deterministic for byte-identical merges (DESIGN.md §15).
+// Never compiled — input for scripts/mra_lint.py via run_fixture_test.py.
+// LINT-EXPECT: wall-clock
+#include <chrono>
+
+namespace fixture {
+
+long stamp_merge_start() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Lint fixture: the fabric transport allowlist. This path matches the
+// wall-clock rule's `fabric/transport` allowlist prefix, so the clock reads
+// below — the exact shapes the real backends use for lease staleness and
+// poll sleeps — must NOT fire, with no suppression comment needed. The flip
+// side (the allowlist stops at transport*) is pinned by fabric/merge.cpp.
+// Never compiled — input for scripts/mra_lint.py via run_fixture_test.py.
+// LINT-EXPECT: clean
+#include <chrono>
+#include <thread>
+
+namespace fixture {
+
+double claim_age_sec() {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+long lease_deadline() {
+  return std::chrono::steady_clock::now().time_since_epoch().count() + 30;
+}
+
+void sleep_poll() {
+  std::this_thread::sleep_for(std::chrono::duration<double>(0.2));
+}
+
+}  // namespace fixture

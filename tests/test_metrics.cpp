@@ -242,6 +242,115 @@ TEST(QuantileSketch, MergeRejectsMismatchedAccuracy) {
   EXPECT_THROW(a.merge(b), std::invalid_argument);
 }
 
+TEST(RunningStats, SerdeGoldensAndRoundTrip) {
+  // Golden wire strings (%.17g doubles, non-finite as quoted tokens): the
+  // fabric's cross-process payloads depend on this exact format.
+  RunningStats empty;
+  EXPECT_EQ(empty.serialize(),
+            "{\"count\":0,\"mean\":0,\"m2\":0,\"sum\":0,"
+            "\"min\":\"inf\",\"max\":\"-inf\"}");
+  RunningStats two;
+  two.add(1.0);
+  two.add(2.0);
+  EXPECT_EQ(two.serialize(),
+            "{\"count\":2,\"mean\":1.5,\"m2\":0.5,\"sum\":3,"
+            "\"min\":1,\"max\":2}");
+
+  // Round trip is a fixed point even for awkward doubles...
+  sim::Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 257; ++i) s.add(rng.exponential(1.0 / 3.0));
+  const std::string wire = s.serialize();
+  const RunningStats back = RunningStats::deserialize(wire);
+  EXPECT_EQ(back.serialize(), wire);
+  // ...and the restored accumulator is bit-identical in behaviour.
+  EXPECT_EQ(back.count(), s.count());
+  EXPECT_DOUBLE_EQ(back.mean(), s.mean());
+  EXPECT_DOUBLE_EQ(back.variance(), s.variance());
+  EXPECT_DOUBLE_EQ(back.min(), s.min());
+  EXPECT_DOUBLE_EQ(back.max(), s.max());
+  EXPECT_THROW((void)RunningStats::deserialize("{\"count\":x}"),
+               std::invalid_argument);
+}
+
+TEST(QuantileSketch, SerdeGoldensAndRoundTrip) {
+  QuantileSketch empty;
+  EXPECT_EQ(empty.serialize(),
+            "{\"alpha\":0.01,\"count\":0,\"underflow\":0,\"overflow\":0,"
+            "\"nonfinite\":0,\"min\":\"inf\",\"max\":\"-inf\",\"buckets\":[]}");
+  QuantileSketch mixed;
+  mixed.add(0.0);  // zero bucket
+  mixed.add(1.0);
+  mixed.add(-5.0);   // underflow
+  mixed.add(2e12);   // overflow (above kMaxTrackable)
+  mixed.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(mixed.serialize(),
+            "{\"alpha\":0.01,\"count\":4,\"underflow\":1,\"overflow\":1,"
+            "\"nonfinite\":1,\"min\":-5,\"max\":2000000000000,"
+            "\"buckets\":[[0,1],[1038,1]]}");
+
+  const QuantileSketch back = QuantileSketch::deserialize(mixed.serialize());
+  EXPECT_EQ(back.serialize(), mixed.serialize());
+  for (double p : {0.0, 50.0, 95.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(back.percentile(p), mixed.percentile(p)) << "p" << p;
+  }
+  EXPECT_THROW((void)QuantileSketch::deserialize("{\"alpha\":0.01}"),
+               std::invalid_argument);
+}
+
+TEST(QuantileSketch, PartitionMergeInvariance) {
+  // The fabric's merge invariant as a property test: for ANY partition of a
+  // sample stream into shards — contiguous ranges like job leases, shipped
+  // through serialize/deserialize like worker payloads, merged in any order
+  // — the pooled sketch answers every percentile bit-identically to the
+  // sketch that saw the whole stream.
+  for (std::uint64_t trial = 0; trial < 6; ++trial) {
+    sim::Rng rng(100 + trial);
+    const int n = 4000;
+    std::vector<double> samples;
+    QuantileSketch whole;
+    for (int i = 0; i < n; ++i) {
+      // A tail-heavy mix with zeros and negatives, like real waiting times
+      // plus sentinel values.
+      double x = rng.exponential(0.5);
+      if (i % 97 == 0) x = 0.0;
+      if (i % 131 == 0) x = -x;
+      samples.push_back(x);
+      whole.add(x);
+    }
+
+    // Random contiguous partition into 1..13 shards.
+    const auto shards = static_cast<std::size_t>(rng.uniform_int(1, 13));
+    std::vector<std::size_t> cuts = {0, samples.size()};
+    for (std::size_t s = 1; s < shards; ++s) {
+      cuts.push_back(static_cast<std::size_t>(rng.uniform_int(0, n - 1)));
+    }
+    std::sort(cuts.begin(), cuts.end());
+
+    std::vector<std::string> wires;
+    for (std::size_t s = 0; s + 1 < cuts.size(); ++s) {
+      QuantileSketch shard;
+      for (std::size_t i = cuts[s]; i < cuts[s + 1]; ++i) {
+        shard.add(samples[i]);
+      }
+      wires.push_back(shard.serialize());
+    }
+    // Merge the deserialized shards back-to-front — order must not matter.
+    QuantileSketch merged;
+    for (auto it = wires.rbegin(); it != wires.rend(); ++it) {
+      merged.merge(QuantileSketch::deserialize(*it));
+    }
+
+    EXPECT_EQ(merged.count(), whole.count()) << "trial " << trial;
+    EXPECT_DOUBLE_EQ(merged.min(), whole.min()) << "trial " << trial;
+    EXPECT_DOUBLE_EQ(merged.max(), whole.max()) << "trial " << trial;
+    for (double p : {0.0, 5.0, 25.0, 50.0, 75.0, 95.0, 99.0, 99.9, 100.0}) {
+      EXPECT_DOUBLE_EQ(merged.percentile(p), whole.percentile(p))
+          << "trial " << trial << " p" << p;
+    }
+  }
+}
+
 TEST(StudentT, GoldenCriticalValues) {
   EXPECT_NEAR(student_t95(1), 12.706, 1e-9);
   EXPECT_NEAR(student_t95(4), 2.776, 1e-9);
